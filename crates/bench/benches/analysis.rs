@@ -1,0 +1,44 @@
+//! Criterion microbenches for the analysis pipeline: DDG construction, ACE
+//! reverse-BFS, and the crash/propagation models — the phases whose split
+//! the paper reports in Fig. 10 and whose scalability §VI-A discusses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use epvf_core::{analyze, propagate, CrashModelConfig, EpvfConfig};
+use epvf_ddg::{build_ddg, AceConfig, AceGraph};
+use epvf_workloads::{mm, pathfinder, Scale};
+
+fn bench_analysis(c: &mut Criterion) {
+    for (name, w) in [
+        ("mm_tiny", mm::build(Scale::Tiny)),
+        ("pathfinder_tiny", pathfinder::build(Scale::Tiny)),
+    ] {
+        let golden = w.golden();
+        let trace = golden.trace.as_ref().expect("traced");
+        let ddg = build_ddg(&w.module, trace);
+        let ace = AceGraph::compute(&ddg, AceConfig::default());
+
+        c.bench_function(&format!("ddg_build/{name}"), |b| {
+            b.iter(|| build_ddg(&w.module, trace))
+        });
+        c.bench_function(&format!("ace_bfs/{name}"), |b| {
+            b.iter(|| AceGraph::compute(&ddg, AceConfig::default()))
+        });
+        c.bench_function(&format!("propagation/{name}"), |b| {
+            b.iter(|| propagate(&w.module, trace, &ddg, &ace, CrashModelConfig::default()))
+        });
+        c.bench_function(&format!("full_analyze/{name}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| analyze(&w.module, trace, EpvfConfig::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenches for fault-injection campaign machinery: site
+//! sampling and small serial/parallel campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epvf_llfi::{Campaign, CampaignConfig};
+use epvf_workloads::{pathfinder, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_campaign(c: &mut Criterion) {
+    let w = pathfinder::build(Scale::Tiny);
+    let serial_cfg = CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::new(&w.module, "main", &w.args, serial_cfg).expect("golden");
+
+    c.bench_function("site_sampling/1000", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                std::hint::black_box(campaign.sites().sample(&mut rng));
+            }
+        })
+    });
+    c.bench_function("campaign_serial/50_runs", |b| {
+        b.iter(|| campaign.run(50, 7))
+    });
+    let parallel =
+        Campaign::new(&w.module, "main", &w.args, CampaignConfig::default()).expect("golden");
+    c.bench_function("campaign_parallel/50_runs", |b| {
+        b.iter(|| parallel.run(50, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_campaign
+}
+criterion_main!(benches);

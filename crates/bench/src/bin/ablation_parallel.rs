@@ -1,0 +1,53 @@
+//! Ablation/scalability: serial vs parallel propagation wall time (§VI-A),
+//! at the standard workload scale where the models dominate.
+
+use epvf_bench::{analyze_workload, print_table, HarnessOpts};
+use epvf_core::{propagate, propagate_parallel, CrashModelConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    opts.scale = epvf_workloads::Scale::Standard;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut rows = Vec::new();
+    for w in opts.workloads() {
+        let a = analyze_workload(&w);
+        let trace = a.golden().trace.as_ref().expect("traced");
+        let t0 = Instant::now();
+        let serial = propagate(
+            &w.module,
+            trace,
+            &a.analysis.ddg,
+            &a.analysis.ace,
+            CrashModelConfig::default(),
+        );
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let par = propagate_parallel(
+            &w.module,
+            trace,
+            &a.analysis.ddg,
+            &a.analysis.ace,
+            CrashModelConfig::default(),
+            threads,
+        );
+        let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            serial.total_use_crash_bits(),
+            par.total_use_crash_bits(),
+            "{}: results agree",
+            w.name
+        );
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{serial_ms:.1}"),
+            format!("{par_ms:.1}"),
+            format!("{:.2}x", serial_ms / par_ms.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &format!("Propagation: serial vs parallel ({threads} threads)"),
+        &["benchmark", "serial (ms)", "parallel (ms)", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation: ACE-graph sampling fraction sweep (1%, 5%, 10%, 25%) —
+//! extends the paper's Fig. 11, which fixes p = 10%.
+
+use epvf_bench::{analyze_workload, print_table, HarnessOpts};
+use epvf_core::{sampled_epvf, CrashModelConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let fractions = [0.01, 0.05, 0.10, 0.25];
+    let mut rows = Vec::new();
+    for w in opts.workloads() {
+        let a = analyze_workload(&w);
+        let trace = a.golden().trace.as_ref().expect("traced");
+        let full = a.analysis.metrics.epvf;
+        let mut cells = vec![w.name.to_string(), format!("{full:.3}")];
+        for frac in fractions {
+            let est = sampled_epvf(
+                &w.module,
+                trace,
+                &a.analysis.ddg,
+                &a.analysis.ace,
+                frac,
+                CrashModelConfig::default(),
+            );
+            cells.push(format!("{:+.3}", est.extrapolated_epvf - full));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Ablation: sampling-fraction sweep (signed error vs full ePVF)",
+        &["benchmark", "full", "p=1%", "p=5%", "p=10%", "p=25%"],
+        &rows,
+    );
+}

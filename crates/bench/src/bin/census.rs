@@ -1,0 +1,44 @@
+//! §VIII selective-ECC support: where do the SDC-prone bits live? Per
+//! benchmark, the opcode classes ranked by ACE-but-not-crash bits — the
+//! state a hardware designer would prioritize for selective protection.
+
+use epvf_bench::{analyze_workload, pct, print_table, HarnessOpts};
+use epvf_core::bit_census;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    for w in opts.workloads() {
+        let a = analyze_workload(&w);
+        let trace = a.golden().trace.as_ref().expect("traced");
+        let census = bit_census(
+            &w.module,
+            trace,
+            &a.analysis.ddg,
+            &a.analysis.ace,
+            &a.analysis.crash_map,
+        );
+        let totals = census.totals();
+        let mut rows = Vec::new();
+        for (mnemonic, r) in census.ranked().into_iter().take(8) {
+            rows.push(vec![
+                mnemonic.to_string(),
+                r.total_bits.to_string(),
+                r.ace_bits.to_string(),
+                r.crash_bits.to_string(),
+                r.sdc_bits().to_string(),
+                pct(r.sdc_bits() as f64 / totals.sdc_bits().max(1) as f64),
+            ]);
+        }
+        print_table(
+            &format!(
+                "{}: SDC-prone bits by opcode class (top 8 of {} total SDC bits)",
+                w.name,
+                totals.sdc_bits()
+            ),
+            &["opcode", "reg bits", "ACE", "crash", "SDC-prone", "share"],
+            &rows,
+        );
+    }
+    println!("\n§VIII: these classes are the candidates for selective hardware");
+    println!("protection (e.g. ECC on the registers feeding them).");
+}

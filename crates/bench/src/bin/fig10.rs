@@ -1,0 +1,27 @@
+//! Figure 10: analysis-time breakdown — DDG/ACE construction vs the crash
+//! + propagation models. The paper finds the models dominate.
+
+use epvf_bench::{analyze_workload, pct, print_table, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let workloads = opts.workloads();
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let a = analyze_workload(w);
+        let m = &a.analysis.metrics;
+        let g = m.graph_time.as_secs_f64();
+        let p = m.model_time.as_secs_f64();
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}", g * 1e3),
+            format!("{:.1}", p * 1e3),
+            pct(p / (g + p).max(1e-12)),
+        ]);
+    }
+    print_table(
+        "Figure 10: time split (graph construction vs models)",
+        &["benchmark", "graph (ms)", "models (ms)", "models share"],
+        &rows,
+    );
+}

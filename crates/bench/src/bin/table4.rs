@@ -1,0 +1,30 @@
+//! Table IV: the benchmark suite — domains and original C LOC, plus this
+//! reproduction's trace/output sizes at the chosen scale.
+
+use epvf_bench::{print_table, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+    for w in opts.workloads() {
+        let g = w.golden();
+        rows.push(vec![
+            w.name.to_string(),
+            w.domain.to_string(),
+            w.paper_loc.to_string(),
+            g.dyn_insts.to_string(),
+            g.outputs.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Table IV: benchmarks",
+        &[
+            "benchmark",
+            "domain",
+            "paper C LOC",
+            "dyn IR insts",
+            "outputs",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Table V: dynamic IR instructions, ACE-graph size, and ePVF modelling
+//! time per benchmark. Time correlates with ACE-graph size, as the paper
+//! reports.
+
+use epvf_bench::{analyze_workload, print_table, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let workloads = opts.workloads();
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let a = analyze_workload(w);
+        let m = &a.analysis.metrics;
+        rows.push(vec![
+            w.name.to_string(),
+            m.dyn_insts.to_string(),
+            m.ace_nodes.to_string(),
+            format!("{:.1}", (m.graph_time + m.model_time).as_secs_f64() * 1e3),
+        ]);
+    }
+    print_table(
+        "Table V: ACE-graph size and modelling time",
+        &["benchmark", "dyn IR insts", "ACE nodes", "time (ms)"],
+        &rows,
+    );
+    println!("\npaper: 30 s (lavaMD) to 5 h (pathfinder) in Python at up to 9.5M dyn insts;");
+    println!("shape to check: time grows with ACE-graph size.");
+}

@@ -1,0 +1,24 @@
+//! Utility: per-workload trace/output sizes at every scale (backs the
+//! scale-calibration notes in EXPERIMENTS.md).
+
+use epvf_bench::print_table;
+use epvf_workloads::{suite, Scale};
+
+fn main() {
+    for scale in [Scale::Tiny, Scale::Small, Scale::Standard] {
+        let mut rows = Vec::new();
+        for w in suite(scale) {
+            let g = w.golden();
+            rows.push(vec![
+                w.name.to_string(),
+                g.dyn_insts.to_string(),
+                g.outputs.len().to_string(),
+            ]);
+        }
+        print_table(
+            &format!("trace sizes at {scale:?}"),
+            &["benchmark", "dyn IR insts", "outputs"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! `epvf` — command-line front end for the ePVF toolchain.
+//!
+//! ```text
+//! epvf list                          the built-in benchmark suite
+//! epvf dump <target>                 print a program's textual IR
+//! epvf run <target>                  golden run: outputs + trace size
+//! epvf analyze <target>              PVF / ePVF / crash-rate metrics
+//! epvf inject <target> [N] [SEED]    fault-injection campaign summary
+//! epvf protect <target> [BUDGET]     §V selective-duplication comparison
+//! ```
+//!
+//! `<target>` is a built-in benchmark name (`epvf list`), optionally
+//! suffixed `:tiny` / `:small` / `:standard`, or a path to a textual IR
+//! file (as produced by `epvf dump`); file targets run their `main`
+//! function with no arguments.
+
+use epvf_core::{analyze, per_instruction_scores, AceConfig, EpvfConfig};
+use epvf_interp::{ExecConfig, Interpreter};
+use epvf_ir::{parse_module, Module};
+use epvf_llfi::{precision_study, recall_study, Campaign, CampaignConfig};
+use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
+use epvf_workloads::{by_name, extended_suite, Scale, Workload};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("dump") => with_target(&args, cmd_dump),
+        Some("run") => with_target(&args, cmd_run),
+        Some("analyze") => with_target(&args, cmd_analyze),
+        Some("inject") => with_target(&args, cmd_inject),
+        Some("protect") => with_target(&args, cmd_protect),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: epvf <command> [args]
+
+  list                         list built-in benchmarks
+  dump <target>                print textual IR
+  run <target>                 golden run summary
+  analyze <target>             PVF / ePVF metrics
+  inject <target> [N] [SEED]   fault-injection campaign (default 1000, 42)
+  protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
+
+<target> = benchmark[:tiny|:small|:standard] or a .ir file path
+";
+
+/// Resolved target: a module plus how to run it.
+struct Target {
+    label: String,
+    module: Module,
+    args: Vec<u64>,
+}
+
+fn resolve(spec: &str) -> Result<Target, String> {
+    let (name, scale) = match spec.split_once(':') {
+        Some((n, "tiny")) => (n, Scale::Tiny),
+        Some((n, "small")) => (n, Scale::Small),
+        Some((n, "standard")) => (n, Scale::Standard),
+        Some((_, s)) => return Err(format!("unknown scale `{s}`")),
+        None => (spec, Scale::Small),
+    };
+    if let Some(w) = by_name(name, scale) {
+        return Ok(Target {
+            label: w.name.to_string(),
+            module: w.module,
+            args: w.args,
+        });
+    }
+    if std::path::Path::new(spec).exists() {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+        let module = parse_module(&text).map_err(|e| format!("parsing {spec}: {e}"))?;
+        return Ok(Target {
+            label: spec.to_string(),
+            module,
+            args: vec![],
+        });
+    }
+    Err(format!(
+        "`{spec}` is neither a benchmark (see `epvf list`) nor an IR file"
+    ))
+}
+
+fn with_target(
+    args: &[String],
+    f: impl FnOnce(Target, &[String]) -> Result<(), String>,
+) -> Result<(), String> {
+    let spec = args.get(1).ok_or("missing <target>")?;
+    f(resolve(spec)?, args.get(2..).unwrap_or(&[]))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:15} {:20} {:>12} {:>9}",
+        "name", "domain", "dyn insts", "outputs"
+    );
+    for w in extended_suite(Scale::Small) {
+        let g = w.golden();
+        println!(
+            "{:15} {:20} {:>12} {:>9}",
+            w.name,
+            w.domain,
+            g.dyn_insts,
+            g.outputs.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dump(t: Target, _rest: &[String]) -> Result<(), String> {
+    print!("{}", t.module);
+    Ok(())
+}
+
+fn cmd_run(t: Target, _rest: &[String]) -> Result<(), String> {
+    let r = Interpreter::new(&t.module, ExecConfig::default())
+        .run(Workload::ENTRY, &t.args)
+        .map_err(|e| e.to_string())?;
+    println!("outcome      : {}", r.outcome);
+    println!("dyn IR insts : {}", r.dyn_insts);
+    println!("outputs      : {}", r.outputs.len());
+    for (bits, ty) in r.outputs.iter().zip(&r.output_tys).take(16) {
+        if ty.is_float() {
+            println!("  {ty} {}", f64::from_bits(*bits));
+        } else {
+            println!("  {ty} {}", ty.sign_extend(*bits));
+        }
+    }
+    if r.outputs.len() > 16 {
+        println!("  … ({} more)", r.outputs.len() - 16);
+    }
+    Ok(())
+}
+
+fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), String> {
+    let golden = Interpreter::new(&t.module, ExecConfig::default())
+        .golden_run(Workload::ENTRY, &t.args)
+        .map_err(|e| e.to_string())?;
+    let trace = golden.trace.as_ref().expect("traced");
+    let res = analyze(&t.module, trace, EpvfConfig::default());
+    let m = &res.metrics;
+    println!("target        : {}", t.label);
+    println!("dyn IR insts  : {}", m.dyn_insts);
+    println!("DDG nodes     : {}", m.ddg_nodes);
+    println!("ACE nodes     : {}", m.ace_nodes);
+    println!("PVF           : {:.4}", m.pvf);
+    println!("ePVF          : {:.4}", m.epvf);
+    println!(
+        "crash bits    : {} of {} ACE register bits",
+        m.crash_register_bits, m.ace_register_bits
+    );
+    println!("crash rate est: {:.1}%", 100.0 * m.crash_rate_estimate);
+    println!(
+        "analysis time : {:.1} ms graph + {:.1} ms models",
+        m.graph_time.as_secs_f64() * 1e3,
+        m.model_time.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_inject(t: Target, rest: &[String]) -> Result<(), String> {
+    let runs: usize = rest
+        .first()
+        .map_or(Ok(1000), |s| s.parse().map_err(|_| "bad run count"))?;
+    let seed: u64 = rest
+        .get(1)
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed"))?;
+    let campaign = Campaign::new(
+        &t.module,
+        Workload::ENTRY,
+        &t.args,
+        CampaignConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let trace = campaign.golden().trace.as_ref().expect("traced");
+    let res = analyze(&t.module, trace, EpvfConfig::default());
+    let fi = campaign.run(runs, seed);
+    println!("target    : {} ({} runs, seed {seed})", t.label, fi.n());
+    println!(
+        "outcomes  : crash {:.1}%  SDC {:.1}%  hang {:.1}%  benign {:.1}%",
+        100.0 * fi.crash_rate(),
+        100.0 * fi.sdc_rate(),
+        100.0 * fi.hang_rate(),
+        100.0 * fi.benign_rate()
+    );
+    let [sf, a, mma, ae] = fi.crash_kind_fractions();
+    println!(
+        "crashes   : SF {:.1}%  A {:.1}%  MMA {:.1}%  AE {:.1}%",
+        100.0 * sf,
+        100.0 * a,
+        100.0 * mma,
+        100.0 * ae
+    );
+    let recall = recall_study(&fi, &res.crash_map);
+    let precision = precision_study(&campaign, &res.crash_map, (runs / 2).max(100), seed);
+    println!("recall    : {:.1}%", 100.0 * recall.recall());
+    println!("precision : {:.1}%", 100.0 * precision.precision());
+    println!(
+        "crash rate: model {:.1}% vs measured {:.1}%",
+        100.0 * res.metrics.crash_rate_estimate,
+        100.0 * fi.crash_rate()
+    );
+    Ok(())
+}
+
+fn cmd_protect(t: Target, rest: &[String]) -> Result<(), String> {
+    let budget: f64 = rest
+        .first()
+        .map_or(Ok(0.24), |s| s.parse().map_err(|_| "bad budget"))?;
+    let campaign = Campaign::new(
+        &t.module,
+        Workload::ENTRY,
+        &t.args,
+        CampaignConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let trace = campaign.golden().trace.as_ref().expect("traced");
+    let res = analyze(
+        &t.module,
+        trace,
+        EpvfConfig {
+            ace: AceConfig {
+                include_control: false,
+            },
+            ..EpvfConfig::default()
+        },
+    );
+    let scores = per_instruction_scores(&t.module, trace, &res.ddg, &res.ace, &res.crash_map);
+    let base = campaign.run(1000, 42);
+    println!("target      : {} (budget {:.0}%)", t.label, budget * 100.0);
+    println!("unprotected : SDC {:.1}%", 100.0 * base.sdc_rate());
+    for (label, strategy) in [
+        ("ePVF", RankingStrategy::Epvf),
+        ("hot-path", RankingStrategy::HotPath),
+    ] {
+        let ranking = rank_instructions(strategy, &scores);
+        let plan = plan_protection(
+            &t.module,
+            Workload::ENTRY,
+            &t.args,
+            &ranking,
+            budget,
+            usize::MAX,
+        );
+        let pc = Campaign::new(
+            &plan.module,
+            Workload::ENTRY,
+            &t.args,
+            CampaignConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let fi = pc.run(1000, 42);
+        println!(
+            "{label:11} : SDC {:.1}%  detected {:.1}%  ({} insts, {:.1}% overhead)",
+            100.0 * fi.sdc_rate(),
+            100.0 * fi.detected_rate(),
+            plan.protected.len(),
+            100.0 * plan.overhead
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,1014 @@
+//! The propagation model (paper §III-C, Algorithms 1–2, Table III).
+//!
+//! For every load/store in the ACE graph, the crash model yields the valid
+//! address range; this module propagates that range backwards along the
+//! backward slice of the address, inverting each instruction's semantics per
+//! Table III, and records for every register **use** on the slice the range
+//! of values that do not end in a segmentation fault. Bits whose flip exits
+//! the range are the *crash bits* that ePVF subtracts from the ACE bits.
+//!
+//! Constraints compose by intersection (a corrupted value crashes if it
+//! violates *any* downstream address bound). A safety valve keeps the model
+//! conservative: if an inverted range fails to contain the operand's actual
+//! golden-run value (signed/wrapping corner cases outside the paper's
+//! positive-integer assumption), the constraint is dropped rather than
+//! over-approximated.
+
+use crate::crash_model::{check_boundary, CrashModelConfig};
+use crate::range::ValueRange;
+use epvf_ddg::{AceGraph, Ddg, EdgeKind, NodeId, NodeKind};
+use epvf_interp::{DynInst, Trace};
+use epvf_ir::{BinOp, CastOp, Inst, Module, Op, StaticInstId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which memory accesses trigger the crash model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CrashScope {
+    /// Only loads/stores inside the ACE graph — the paper's Algorithm 1.
+    /// Faults in non-ACE accesses still crash in reality, which is the
+    /// coverage gap the paper observes for lavaMD and lulesh in Fig. 8.
+    #[default]
+    AceOnly,
+    /// Every load/store in the trace — an extension that closes that gap
+    /// for recall and crash-rate estimation.
+    AllAccesses,
+}
+
+/// One resolved constraint: the allowed range, the golden-run value, and
+/// the bit width it applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Allowed values (crash outside).
+    pub range: ValueRange,
+    /// The golden-run value at this location.
+    pub value: u64,
+    /// Bit width of the location.
+    pub width: u32,
+}
+
+impl Constraint {
+    /// Number of crash bits at this location.
+    pub fn crash_bit_count(&self) -> u32 {
+        self.range.crash_bit_count(self.value, self.width)
+    }
+}
+
+/// The paper's `CRASHING_BIT_LIST`: per-use and per-node crash constraints.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrashMap {
+    /// `(dynamic instruction, operand slot)` → constraint on that read.
+    uses: HashMap<(u64, usize), Constraint>,
+    /// DDG node → constraint on the value it carries.
+    nodes: HashMap<NodeId, Constraint>,
+}
+
+impl CrashMap {
+    /// The constraint on operand `slot` of dynamic instruction `dyn_idx`.
+    pub fn use_constraint(&self, dyn_idx: u64, slot: usize) -> Option<&Constraint> {
+        self.uses.get(&(dyn_idx, slot))
+    }
+
+    /// Does the model predict a crash for flipping `bit` of that operand
+    /// read? `false` when the location carries no constraint.
+    pub fn predicts_crash(&self, dyn_idx: u64, slot: usize, bit: u8) -> bool {
+        self.uses
+            .get(&(dyn_idx, slot))
+            .is_some_and(|c| bit < c.width as u8 && c.range.flip_crashes(c.value, bit))
+    }
+
+    /// The constraint attached to a DDG node, if any.
+    pub fn node_constraint(&self, node: NodeId) -> Option<&Constraint> {
+        self.nodes.get(&node)
+    }
+
+    /// Iterate all use constraints.
+    pub fn uses(&self) -> impl Iterator<Item = (&(u64, usize), &Constraint)> {
+        self.uses.iter()
+    }
+
+    /// Number of constrained uses.
+    pub fn n_uses(&self) -> usize {
+        self.uses.len()
+    }
+
+    /// Number of constrained nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Σ crash bits over ACE register nodes — the `CrashBits` term of the
+    /// paper's Eq. 2.
+    pub fn ace_register_crash_bits(&self, ddg: &Ddg, ace: &AceGraph) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|(id, _)| ace.contains(**id) && ddg.node(**id).kind.is_reg())
+            .map(|(_, c)| u64::from(c.crash_bit_count()))
+            .sum()
+    }
+
+    /// Σ crash bits over all constrained uses (numerator of the crash-rate
+    /// estimate validated in the paper's Fig. 8).
+    pub fn total_use_crash_bits(&self) -> u64 {
+        self.uses
+            .values()
+            .map(|c| u64::from(c.crash_bit_count()))
+            .sum()
+    }
+
+    fn constrain_use(
+        &mut self,
+        dyn_idx: u64,
+        slot: usize,
+        range: ValueRange,
+        value: u64,
+        width: u32,
+    ) {
+        let entry = self.uses.entry((dyn_idx, slot)).or_insert(Constraint {
+            range: ValueRange::FULL,
+            value,
+            width,
+        });
+        entry.range = entry.range.intersect(range);
+    }
+
+    /// Merge another map into this one by constraint intersection — the
+    /// reduction step of the parallel propagation of §VI-A ("threads can be
+    /// assigned to one backward slice each with minimum coordination").
+    pub fn merge(&mut self, other: CrashMap) {
+        for (k, c) in other.uses {
+            let e = self.uses.entry(k).or_insert(Constraint {
+                range: ValueRange::FULL,
+                ..c
+            });
+            e.range = e.range.intersect(c.range);
+        }
+        for (k, c) in other.nodes {
+            let e = self.nodes.entry(k).or_insert(Constraint {
+                range: ValueRange::FULL,
+                ..c
+            });
+            e.range = e.range.intersect(c.range);
+        }
+    }
+
+    /// Tighten a node constraint; returns `true` if it actually shrank.
+    fn tighten_node(&mut self, node: NodeId, range: ValueRange, value: u64, width: u32) -> bool {
+        let entry = self.nodes.entry(node).or_insert(Constraint {
+            range: ValueRange::FULL,
+            value,
+            width,
+        });
+        let merged = entry.range.intersect(range);
+        if merged == entry.range {
+            false
+        } else {
+            entry.range = merged;
+            true
+        }
+    }
+}
+
+/// Per-static-instruction lookup used while walking the trace.
+struct InstIndex<'m> {
+    by_sid: Vec<Option<&'m Inst>>,
+}
+
+impl<'m> InstIndex<'m> {
+    fn new(module: &'m Module) -> Self {
+        let mut by_sid: Vec<Option<&'m Inst>> = vec![None; module.n_static_insts as usize];
+        for f in &module.functions {
+            for inst in f.insts() {
+                if inst.sid.index() >= by_sid.len() {
+                    by_sid.resize(inst.sid.index() + 1, None);
+                }
+                by_sid[inst.sid.index()] = Some(inst);
+            }
+        }
+        InstIndex { by_sid }
+    }
+
+    fn get(&self, sid: StaticInstId) -> &'m Inst {
+        self.by_sid
+            .get(sid.index())
+            .copied()
+            .flatten()
+            .expect("trace references instruction missing from module")
+    }
+}
+
+fn operand_width(module: &Module, rec: &DynInst, v: Value) -> u32 {
+    match v {
+        Value::Reg(r) => module.functions[rec.func.index()].value_types[r.index()].bits(),
+        Value::ConstInt { ty, .. } | Value::ConstFloat { ty, .. } => ty.bits(),
+        Value::Global(_) => 64,
+    }
+}
+
+/// Signed-safe "allowed = dest − delta" range shift.
+fn shift_range(dest: ValueRange, delta: i128) -> ValueRange {
+    let lo = (dest.lo as i128 - delta).clamp(0, u64::MAX as i128) as u64;
+    let hi = (dest.hi as i128 - delta).clamp(0, u64::MAX as i128) as u64;
+    ValueRange::new(lo, hi)
+}
+
+/// The `lookup_table` of Algorithm 2 / Table III: given that the result of
+/// `rec` must lie in `dest`, invert the instruction semantics to bound
+/// operand `slot`. `None` = unconstrained (conservative).
+fn operand_range(op: &Op, slot: usize, rec: &DynInst, dest: ValueRange) -> Option<ValueRange> {
+    let opv = |i: usize| rec.operands.get(i).map(|o| o.bits).unwrap_or(0);
+    let out = match op {
+        // Row 1: add — Max(op) = Max(dest) − other.
+        Op::Bin { op: BinOp::Add, .. } => {
+            let other = opv(1 - slot);
+            shift_range(dest, other as i128)
+        }
+        // Row 2: sub — dest = a − b.
+        Op::Bin { op: BinOp::Sub, .. } => {
+            if slot == 0 {
+                shift_range(dest, -(opv(1) as i128))
+            } else {
+                // b = a − dest  →  b ∈ [a − hi, a − lo]
+                let a = opv(0) as i128;
+                let lo = (a - dest.hi as i128).clamp(0, u64::MAX as i128) as u64;
+                let hi = (a - dest.lo as i128).clamp(0, u64::MAX as i128) as u64;
+                ValueRange::new(lo, hi)
+            }
+        }
+        // Row 3: mul — Max(op) = Max(dest) / other (other ≠ 0).
+        Op::Bin { op: BinOp::Mul, .. } => {
+            let other = opv(1 - slot);
+            if other == 0 {
+                return None;
+            }
+            ValueRange::new(dest.lo.div_ceil(other), dest.hi / other)
+        }
+        // Row 4: div — op1 ∈ [dest·c, dest·c + c − 1].
+        Op::Bin {
+            op: BinOp::UDiv | BinOp::SDiv,
+            ..
+        } if slot == 0 => {
+            let c = opv(1);
+            if c == 0 {
+                return None;
+            }
+            ValueRange::new(
+                dest.lo.saturating_mul(c),
+                dest.hi.saturating_mul(c).saturating_add(c - 1),
+            )
+        }
+        // Shifts by the (runtime-constant) amount reduce to mul/div.
+        Op::Bin {
+            op: BinOp::Shl, ty, ..
+        } if slot == 0 => {
+            let k = opv(1) % u64::from(ty.bits());
+            if k >= 64 {
+                return None;
+            }
+            let c = 1u64 << k;
+            ValueRange::new(dest.lo.div_ceil(c).saturating_mul(c) / c, dest.hi / c)
+        }
+        Op::Bin {
+            op: BinOp::LShr,
+            ty,
+            ..
+        } if slot == 0 => {
+            let k = opv(1) % u64::from(ty.bits());
+            if k >= 64 {
+                return None;
+            }
+            ValueRange::new(
+                dest.lo.checked_shl(k as u32).unwrap_or(u64::MAX),
+                dest.hi
+                    .checked_shl(k as u32)
+                    .and_then(|v| v.checked_add((1u64 << k) - 1))
+                    .unwrap_or(u64::MAX),
+            )
+        }
+        // Row 6: getelementptr — dest = base + sizeof(type)·index.
+        Op::Gep { elem_size, .. } => {
+            let result = rec.result.map(|(_, bits, _)| bits)?;
+            if slot == 0 {
+                // Invert via the actual offset so negative indices work.
+                let off = result.wrapping_sub(opv(0));
+                shift_range(dest, off as i64 as i128)
+            } else {
+                let es = *elem_size as i128;
+                if es == 0 {
+                    return None;
+                }
+                let base = opv(0) as i128;
+                let lo_n = dest.lo as i128 - base;
+                let hi_n = dest.hi as i128 - base;
+                if hi_n < 0 {
+                    return None;
+                }
+                let lo = if lo_n <= 0 { 0 } else { (lo_n + es - 1) / es };
+                let hi = hi_n / es;
+                if hi < lo {
+                    return None;
+                }
+                ValueRange::new(
+                    lo.clamp(0, u64::MAX as i128) as u64,
+                    hi.clamp(0, u64::MAX as i128) as u64,
+                )
+            }
+        }
+        // Row 7: bitcast and the other value-preserving conversions.
+        Op::Cast {
+            op: cast,
+            from_ty,
+            to_ty,
+            ..
+        } => match cast {
+            CastOp::Bitcast if from_ty.is_int() && to_ty.is_int() => dest,
+            CastOp::ZExt | CastOp::PtrToInt | CastOp::IntToPtr => {
+                ValueRange::new(dest.lo, dest.hi.min(from_ty.mask()))
+            }
+            CastOp::SExt => ValueRange::new(dest.lo, dest.hi.min(from_ty.mask())),
+            CastOp::Trunc if dest.hi <= to_ty.mask() => dest,
+            _ => return None,
+        },
+        // Phi forwards its taken incoming unchanged.
+        Op::Phi { .. } => dest,
+        Op::Select { .. } => {
+            let cond = opv(0) & 1;
+            let taken_slot = if cond == 1 { 1 } else { 2 };
+            if slot == taken_slot {
+                dest
+            } else if slot == 0 {
+                // Flipping the condition selects the other operand: if that
+                // value violates the bound, the condition bit is a crash bit.
+                let untaken = opv(if cond == 1 { 2 } else { 1 });
+                if dest.contains(untaken) {
+                    return None;
+                }
+                ValueRange::new(cond, cond)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    // Safety valve: the golden value must satisfy the constraint we derived;
+    // otherwise the inversion hit a case outside the model's assumptions.
+    let actual = opv(slot);
+    if !out.contains(actual) {
+        return None;
+    }
+    Some(out)
+}
+
+/// Run Algorithms 1–3 over a traced run: for each ACE load/store, bound the
+/// address by the crash model and propagate the bound along the backward
+/// slice. Returns the populated [`CrashMap`].
+pub fn propagate(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    ace: &AceGraph,
+    config: CrashModelConfig,
+) -> CrashMap {
+    propagate_scoped(module, trace, ddg, ace, config, CrashScope::AceOnly)
+}
+
+/// [`propagate`] with an explicit [`CrashScope`].
+pub fn propagate_scoped(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    ace: &AceGraph,
+    config: CrashModelConfig,
+    scope: CrashScope,
+) -> CrashMap {
+    let index = InstIndex::new(module);
+    let mut map = CrashMap::default();
+    run_over(
+        module,
+        trace,
+        ddg,
+        ace,
+        config,
+        scope,
+        &index,
+        &mut map,
+        0..trace.len() as u64,
+    );
+    map
+}
+
+/// Parallel variant of [`propagate`] (paper §VI-A): the trace is split into
+/// contiguous chunks, each worker propagates its own accesses into a local
+/// `CrashMap`, and the results are merged by constraint intersection.
+///
+/// The merged result is the same constraint system as the serial one up to
+/// interval-rounding at `mul`/`div` inversions (the serial pass may derive a
+/// marginally tighter range when constraints from different accesses meet
+/// *before* such an inversion); in practice the maps coincide.
+pub fn propagate_parallel(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    ace: &AceGraph,
+    config: CrashModelConfig,
+    threads: usize,
+) -> CrashMap {
+    let threads = threads.max(1);
+    if threads == 1 || trace.len() < 1024 {
+        return propagate(module, trace, ddg, ace, config);
+    }
+    let index = InstIndex::new(module);
+    let chunk = (trace.len() as u64).div_ceil(threads as u64);
+    let mut maps: Vec<CrashMap> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads as u64 {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(trace.len() as u64);
+            let index = &index;
+            handles.push(scope.spawn(move |_| {
+                let mut local = CrashMap::default();
+                run_over(
+                    module,
+                    trace,
+                    ddg,
+                    ace,
+                    config,
+                    CrashScope::AceOnly,
+                    index,
+                    &mut local,
+                    lo..hi,
+                );
+                local
+            }));
+        }
+        for h in handles {
+            maps.push(h.join().expect("propagation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut out = CrashMap::default();
+    for m in maps {
+        out.merge(m);
+    }
+    out
+}
+
+/// Algorithm 1 over the accesses whose dynamic index lies in `range_of_recs`.
+#[allow(clippy::too_many_arguments)]
+fn run_over(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    ace: &AceGraph,
+    config: CrashModelConfig,
+    scope: CrashScope,
+    index: &InstIndex<'_>,
+    map: &mut CrashMap,
+    range_of_recs: std::ops::Range<u64>,
+) {
+    let mut queue: Vec<NodeId> = Vec::new();
+    for idx in range_of_recs {
+        let rec = trace.get(idx).expect("record in range");
+        let Some(mem) = rec.mem.as_ref() else {
+            continue;
+        };
+        let Some(def_node) = ddg.def_of_record(rec.idx) else {
+            continue;
+        };
+        if scope == CrashScope::AceOnly && !ace.contains(def_node) {
+            continue;
+        }
+        let range = check_boundary(mem, config);
+        let addr_slot = if mem.is_store { 1 } else { 0 };
+        let addr_op = rec.operands[addr_slot];
+        map.constrain_use(rec.idx, addr_slot, range, addr_op.bits, 64);
+        if addr_op.src.is_some() {
+            // Find the Addr-edge dependency of the access node.
+            for &(dep, kind) in &ddg.node(def_node).deps {
+                if kind == EdgeKind::Addr
+                    && map.tighten_node(dep, range, addr_op.bits, ddg.node(dep).bits.max(64))
+                {
+                    queue.push(dep);
+                }
+            }
+        }
+        drain(module, trace, ddg, index, map, &mut queue);
+    }
+}
+
+/// Algorithm 2's worklist: pop constrained nodes, invert their defining
+/// instruction, constrain its operands, repeat until fixpoint.
+fn drain(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    index: &InstIndex<'_>,
+    map: &mut CrashMap,
+    queue: &mut Vec<NodeId>,
+) {
+    while let Some(node) = queue.pop() {
+        let range = match map.node_constraint(node) {
+            Some(c) => c.range,
+            None => continue,
+        };
+        let Some(rec_idx) = ddg.node(node).def_record else {
+            continue;
+        };
+        let rec = trace.get(rec_idx).expect("record exists");
+        let inst = index.get(rec.sid);
+
+        if let Op::Load { ty, .. } = &inst.op {
+            // The loaded value is bounded; the bound applies to whatever
+            // store produced it (value flows through memory unchanged when
+            // the accesses fully alias).
+            let load_mem = rec.mem.as_ref().expect("load has access info");
+            for &(dep, kind) in &ddg.node(node).deps {
+                if kind != EdgeKind::Data {
+                    continue;
+                }
+                if !matches!(ddg.node(dep).kind, NodeKind::Mem { .. }) {
+                    continue;
+                }
+                let Some(store_idx) = ddg.node(dep).def_record else {
+                    continue;
+                };
+                let store_rec = trace.get(store_idx).expect("record exists");
+                let store_mem = store_rec.mem.as_ref().expect("store has access info");
+                if store_mem.addr != load_mem.addr || store_mem.size != load_mem.size {
+                    continue; // partial aliasing: stay conservative
+                }
+                let val_op = store_rec.operands[0];
+                if !range.contains(val_op.bits) {
+                    continue;
+                }
+                let width = operand_width(module, store_rec, val_op.value).min(ty.bits());
+                map.constrain_use(store_idx, 0, range, val_op.bits, width);
+                if let Some(src) = val_op.src {
+                    if let Some(&src_node) = lookup_dyn(ddg, dep, src) {
+                        if map.tighten_node(src_node, range, val_op.bits, width) {
+                            queue.push(src_node);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        for (slot, op_rec) in rec.operands.iter().enumerate() {
+            let Some(_src) = op_rec.src else { continue };
+            let Some(or) = operand_range(&inst.op, slot, rec, range) else {
+                continue;
+            };
+            if or.is_full() {
+                continue;
+            }
+            let width = operand_width(module, rec, op_rec.value);
+            map.constrain_use(rec.idx, slot, or, op_rec.bits, width);
+            // The Data dependency edge for this operand.
+            if let Some(src_node) = data_dep_for_slot(ddg, node, rec, slot) {
+                if map.tighten_node(src_node, or, op_rec.bits, width) && !or.is_full() {
+                    queue.push(src_node);
+                }
+            }
+        }
+    }
+}
+
+/// Find the DDG node carrying the `slot`-th operand's dynamic value among
+/// the consumer's dependencies.
+fn data_dep_for_slot(ddg: &Ddg, consumer: NodeId, rec: &DynInst, slot: usize) -> Option<NodeId> {
+    let src = rec.operands[slot].src?;
+    ddg.node(consumer)
+        .deps
+        .iter()
+        .find_map(|&(d, _)| matches!(ddg.node(d).kind, NodeKind::Reg(dv) if dv == src).then_some(d))
+}
+
+/// Find a Reg node for `src` among the deps of `store_mem_node`'s producer
+/// edges (the store's value operand).
+fn lookup_dyn(ddg: &Ddg, store_mem_node: NodeId, src: epvf_interp::DynValueId) -> Option<&NodeId> {
+    ddg.node(store_mem_node)
+        .deps
+        .iter()
+        .find_map(|(d, _)| matches!(ddg.node(*d).kind, NodeKind::Reg(dv) if dv == src).then_some(d))
+}
+
+#[cfg(test)]
+mod lookup_table_tests {
+    //! Direct tests of the Table III inversion rules, one per row.
+
+    use super::*;
+    use epvf_interp::{DynValueId, OperandRec};
+    use epvf_ir::{BinOp, CastOp, FcmpPred, FuncId, IcmpPred, StaticInstId, Type};
+
+    fn rec(operands: Vec<(u64, bool)>, result: Option<u64>) -> DynInst {
+        DynInst {
+            idx: 0,
+            sid: StaticInstId(0),
+            func: FuncId(0),
+            result: result.map(|bits| (epvf_ir::ValueId(99), bits, DynValueId(99))),
+            operands: operands
+                .into_iter()
+                .enumerate()
+                .map(|(i, (bits, is_reg))| OperandRec {
+                    value: if is_reg {
+                        Value::Reg(epvf_ir::ValueId(i as u32))
+                    } else {
+                        Value::const_int(Type::I64, bits)
+                    },
+                    bits,
+                    src: is_reg.then_some(DynValueId(i as u64)),
+                })
+                .collect(),
+            mem: None,
+        }
+    }
+
+    fn bin(op: BinOp) -> Op {
+        Op::Bin {
+            op,
+            ty: Type::I64,
+            a: Value::Reg(epvf_ir::ValueId(0)),
+            b: Value::Reg(epvf_ir::ValueId(1)),
+        }
+    }
+
+    #[test]
+    fn row1_add() {
+        // dest = a + b, dest ∈ [100, 200], b = 30  →  a ∈ [70, 170]
+        let r = rec(vec![(120, true), (30, true)], Some(150));
+        let got = operand_range(&bin(BinOp::Add), 0, &r, ValueRange::new(100, 200)).expect("some");
+        assert_eq!(got, ValueRange::new(70, 170));
+        // and symmetrically for b (a = 120) → b ∈ [−20→0, 80]
+        let got = operand_range(&bin(BinOp::Add), 1, &r, ValueRange::new(100, 200)).expect("some");
+        assert_eq!(got, ValueRange::new(0, 80));
+    }
+
+    #[test]
+    fn row2_sub_both_slots() {
+        // dest = a − b, dest ∈ [100, 200], a = 150, b = 30
+        let r = rec(vec![(150, true), (30, true)], Some(120));
+        let a = operand_range(&bin(BinOp::Sub), 0, &r, ValueRange::new(100, 200)).expect("some");
+        assert_eq!(a, ValueRange::new(130, 230));
+        let b = operand_range(&bin(BinOp::Sub), 1, &r, ValueRange::new(100, 200)).expect("some");
+        // b = a − dest → [150−200→0, 150−100] = [0, 50]
+        assert_eq!(b, ValueRange::new(0, 50));
+    }
+
+    #[test]
+    fn row3_mul() {
+        // dest = a · 4, dest ∈ [100, 200] → a ∈ [25, 50]
+        let r = rec(vec![(30, true), (4, true)], Some(120));
+        let got = operand_range(&bin(BinOp::Mul), 0, &r, ValueRange::new(100, 200)).expect("some");
+        assert_eq!(got, ValueRange::new(25, 50));
+        // zero multiplier: unconstrained
+        let r0 = rec(vec![(30, true), (0, true)], Some(0));
+        assert!(operand_range(&bin(BinOp::Mul), 0, &r0, ValueRange::new(0, 0)).is_none());
+    }
+
+    #[test]
+    fn row4_div() {
+        // dest = a / 4, dest ∈ [10, 20] → a ∈ [40, 83]
+        let r = rec(vec![(50, true), (4, true)], Some(12));
+        let got = operand_range(&bin(BinOp::SDiv), 0, &r, ValueRange::new(10, 20)).expect("some");
+        assert_eq!(got, ValueRange::new(40, 83));
+        // the divisor is never constrained
+        assert!(operand_range(&bin(BinOp::SDiv), 1, &r, ValueRange::new(10, 20)).is_none());
+    }
+
+    #[test]
+    fn shifts() {
+        // dest = a << 3, dest ∈ [64, 256] → a ∈ [8, 32]
+        let r = rec(vec![(10, true), (3, true)], Some(80));
+        let got = operand_range(&bin(BinOp::Shl), 0, &r, ValueRange::new(64, 256)).expect("some");
+        assert_eq!(got, ValueRange::new(8, 32));
+        // dest = a >> 2, dest ∈ [4, 8] → a ∈ [16, 35]
+        let r = rec(vec![(20, true), (2, true)], Some(5));
+        let got = operand_range(&bin(BinOp::LShr), 0, &r, ValueRange::new(4, 8)).expect("some");
+        assert_eq!(got, ValueRange::new(16, 35));
+    }
+
+    #[test]
+    fn row6_gep_base_and_index() {
+        let op = Op::Gep {
+            base: Value::Reg(epvf_ir::ValueId(0)),
+            index: Value::Reg(epvf_ir::ValueId(1)),
+            elem_size: 4,
+        };
+        // dest = base + 4·idx, base = 0x1000, idx = 4 → dest = 0x1010.
+        let r = rec(vec![(0x1000, true), (4, true)], Some(0x1010));
+        let base = operand_range(&op, 0, &r, ValueRange::new(0x1000, 0x1FFF)).expect("some");
+        // offset = 0x10 → base ∈ [0xFF0, 0x1FEF]
+        assert_eq!(base, ValueRange::new(0xFF0, 0x1FEF));
+        let idx = operand_range(&op, 1, &r, ValueRange::new(0x1000, 0x1FFF)).expect("some");
+        // idx ∈ [ceil(0/4), floor(0xFFF/4)] = [0, 0x3FF]
+        assert_eq!(idx, ValueRange::new(0, 0x3FF));
+    }
+
+    #[test]
+    fn row7_value_preserving_casts() {
+        let mk = |cast, from_ty, to_ty| Op::Cast {
+            op: cast,
+            from_ty,
+            to_ty,
+            a: Value::Reg(epvf_ir::ValueId(0)),
+        };
+        let r = rec(vec![(50, true)], Some(50));
+        let d = ValueRange::new(10, 100);
+        assert_eq!(
+            operand_range(&mk(CastOp::ZExt, Type::I32, Type::I64), 0, &r, d),
+            Some(ValueRange::new(10, 100))
+        );
+        assert_eq!(
+            operand_range(&mk(CastOp::PtrToInt, Type::Ptr, Type::I64), 0, &r, d),
+            Some(d)
+        );
+        assert_eq!(
+            operand_range(&mk(CastOp::IntToPtr, Type::I64, Type::Ptr), 0, &r, d),
+            Some(d)
+        );
+        // trunc passes through only when the bound fits the narrow type
+        assert_eq!(
+            operand_range(&mk(CastOp::Trunc, Type::I64, Type::I8), 0, &r, d),
+            Some(d)
+        );
+        let wide = ValueRange::new(10, 0x1_0000);
+        assert!(operand_range(&mk(CastOp::Trunc, Type::I64, Type::I8), 0, &r, wide).is_none());
+        // float casts never propagate
+        assert!(operand_range(&mk(CastOp::SiToFp, Type::I64, Type::F64), 0, &r, d).is_none());
+    }
+
+    #[test]
+    fn phi_and_select() {
+        let phi = Op::Phi {
+            ty: Type::I64,
+            incomings: vec![],
+        };
+        let r = rec(vec![(50, true)], Some(50));
+        let d = ValueRange::new(10, 100);
+        assert_eq!(operand_range(&phi, 0, &r, d), Some(d));
+
+        let select = Op::Select {
+            ty: Type::I64,
+            cond: Value::Reg(epvf_ir::ValueId(0)),
+            a: Value::Reg(epvf_ir::ValueId(1)),
+            b: Value::Reg(epvf_ir::ValueId(2)),
+        };
+        // cond = 1 takes slot 1; slot 1 passes through, slot 2 unconstrained
+        let r = rec(vec![(1, true), (50, true), (999, true)], Some(50));
+        assert_eq!(operand_range(&select, 1, &r, d), Some(d));
+        assert!(operand_range(&select, 2, &r, d).is_none());
+        // flipping cond selects 999 ∉ [10,100] → cond pinned to 1
+        assert_eq!(
+            operand_range(&select, 0, &r, d),
+            Some(ValueRange::new(1, 1))
+        );
+        // if the untaken value is also in range, cond is unconstrained
+        let r = rec(vec![(1, true), (50, true), (60, true)], Some(50));
+        assert!(operand_range(&select, 0, &r, d).is_none());
+    }
+
+    #[test]
+    fn unconstrained_ops_return_none() {
+        let r = rec(vec![(50, true), (3, true)], Some(1));
+        let d = ValueRange::new(10, 100);
+        for op in [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::URem,
+            BinOp::SRem,
+            BinOp::AShr,
+        ] {
+            assert!(operand_range(&bin(op), 0, &r, d).is_none(), "{op:?}");
+        }
+        let icmp = Op::Icmp {
+            pred: IcmpPred::Eq,
+            ty: Type::I64,
+            a: Value::Reg(epvf_ir::ValueId(0)),
+            b: Value::Reg(epvf_ir::ValueId(1)),
+        };
+        assert!(operand_range(&icmp, 0, &r, d).is_none());
+        let fcmp = Op::Fcmp {
+            pred: FcmpPred::Oeq,
+            ty: Type::F64,
+            a: Value::Reg(epvf_ir::ValueId(0)),
+            b: Value::Reg(epvf_ir::ValueId(1)),
+        };
+        assert!(operand_range(&fcmp, 0, &r, d).is_none());
+    }
+
+    #[test]
+    fn safety_valve_drops_contradicted_ranges() {
+        // Actual operand value outside the derived range → None.
+        let r = rec(vec![(5, true), (30, true)], Some(35));
+        // dest ∈ [100, 200] but a = 5 would need a ∈ [70, 170]: contradiction.
+        assert!(operand_range(&bin(BinOp::Add), 0, &r, ValueRange::new(100, 200)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epvf_ddg::{build_ddg, AceConfig};
+    use epvf_interp::{ExecConfig, Interpreter};
+    use epvf_ir::{ModuleBuilder, Type};
+
+    /// `buf[1] = 42; out = buf[1]` — the paper's running example in spirit.
+    fn analyzed() -> (epvf_ir::Module, Trace, Ddg, AceGraph, CrashMap) {
+        let mut mb = ModuleBuilder::new("frag");
+        let mut f = mb.function("main", vec![], None);
+        let buf = f.malloc(Value::i64(64));
+        let idx = f.add(Type::I64, Value::i64(0), Value::i64(1));
+        let v = f.add(Type::I32, Value::i32(20), Value::i32(22));
+        let slot = f.gep(buf, idx, 4);
+        f.store(Type::I32, v, slot);
+        let back = f.load(Type::I32, slot);
+        f.output(Type::I32, back);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let r = Interpreter::new(&m, ExecConfig::default())
+            .golden_run("main", &[])
+            .expect("runs");
+        let t = r.trace.expect("trace");
+        let ddg = build_ddg(&m, &t);
+        let ace = AceGraph::compute(&ddg, AceConfig::default());
+        let map = propagate(&m, &t, &ddg, &ace, CrashModelConfig::default());
+        (m, t, ddg, ace, map)
+    }
+
+    #[test]
+    fn address_uses_are_constrained() {
+        let (_m, t, _ddg, _ace, map) = analyzed();
+        let mut constrained_mem_uses = 0;
+        for rec in &t {
+            if let Some(mem) = &rec.mem {
+                let slot = if mem.is_store { 1 } else { 0 };
+                let c = map
+                    .use_constraint(rec.idx, slot)
+                    .expect("address constrained");
+                assert!(c.range.contains(mem.addr), "golden address in range");
+                assert!(!c.range.is_full());
+                constrained_mem_uses += 1;
+            }
+        }
+        assert_eq!(constrained_mem_uses, 2, "store + load addresses");
+    }
+
+    #[test]
+    fn high_address_bits_predicted_crashing() {
+        let (_m, t, _ddg, _ace, map) = analyzed();
+        let store = t
+            .iter()
+            .find(|r| r.mem.as_ref().is_some_and(|m| m.is_store))
+            .expect("store");
+        // Heap addresses live around 0x0200_0000 in a ~512MiB span; flipping
+        // bit 45 must leave every segment.
+        assert!(map.predicts_crash(store.idx, 1, 45));
+        // Flipping bit 2 moves within the heap segment: not a crash.
+        assert!(!map.predicts_crash(store.idx, 1, 2));
+    }
+
+    #[test]
+    fn constraint_propagates_through_gep_to_base_and_index() {
+        let (_m, t, ddg, _ace, map) = analyzed();
+        // The gep record: operands (base, index) must both be constrained.
+        let gep = t
+            .iter()
+            .find(|r| {
+                ddg.def_of_record(r.idx)
+                    .map(|n| ddg.node(n).deps.len() == 2)
+                    .unwrap_or(false)
+                    && r.operands.len() == 2
+                    && r.result.is_some()
+                    && r.mem.is_none()
+                    && r.operands[1].value.as_const_int().is_none()
+            })
+            .expect("gep record with register operands");
+        let base = map.use_constraint(gep.idx, 0).expect("base constrained");
+        assert!(base.range.contains(gep.operands[0].bits));
+        let idx = map.use_constraint(gep.idx, 1).expect("index constrained");
+        assert!(idx.range.contains(gep.operands[1].bits));
+        // The index is bounded to the heap span / 4.
+        assert!(idx.range.hi < u64::MAX / 4);
+    }
+
+    #[test]
+    fn value_chain_not_address_constrained() {
+        let (_m, t, _ddg, _ace, map) = analyzed();
+        // The `v = 20 + 22` add feeds the *stored value*, which is
+        // constrained only through the load→store value path... and the
+        // loaded value feeds `output`, not an address, so the stored-value
+        // use is NOT constrained here.
+        let value_add = t
+            .iter()
+            .find(|r| {
+                r.result.is_some()
+                    && r.operands.len() == 2
+                    && r.operands.iter().all(|o| o.src.is_none())
+                    && r.operands[0].value.ty_if_const() == Some(Type::I32)
+            })
+            .expect("the i32 constant add");
+        assert!(map.use_constraint(value_add.idx, 0).is_none());
+    }
+
+    #[test]
+    fn naive_model_gives_wider_stack_ranges() {
+        // An alloca'd slot accessed with both models: the Linux rule extends
+        // the valid floor below the stack VMA, so its range is wider.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", vec![], None);
+        let slot = f.alloca(16, 8);
+        f.store(Type::I64, Value::i64(5), slot);
+        let v = f.load(Type::I64, slot);
+        f.output(Type::I64, v);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let r = Interpreter::new(&m, ExecConfig::default())
+            .golden_run("main", &[])
+            .expect("runs");
+        let t = r.trace.expect("trace");
+        let ddg = build_ddg(&m, &t);
+        let ace = AceGraph::compute(&ddg, AceConfig::default());
+        let full = propagate(&m, &t, &ddg, &ace, CrashModelConfig::default());
+        let naive = propagate(
+            &m,
+            &t,
+            &ddg,
+            &ace,
+            CrashModelConfig {
+                stack_rule: false,
+                ..CrashModelConfig::default()
+            },
+        );
+        let store = t
+            .iter()
+            .find(|r| r.mem.as_ref().is_some_and(|m| m.is_store))
+            .expect("store");
+        let cf = full.use_constraint(store.idx, 1).expect("constrained");
+        let cn = naive.use_constraint(store.idx, 1).expect("constrained");
+        assert!(
+            cf.range.lo < cn.range.lo,
+            "Linux rule admits lower stack addresses"
+        );
+        assert!(
+            cn.crash_bit_count() >= cf.crash_bit_count(),
+            "naive model predicts at least as many crash bits"
+        );
+    }
+
+    #[test]
+    fn loaded_address_constrains_feeding_store_value() {
+        // Store a pointer to memory, load it back, dereference it: the
+        // stored pointer value must be range-constrained.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", vec![], None);
+        let data = f.malloc(Value::i64(8));
+        f.store(Type::I64, Value::i64(77), data);
+        let cell = f.malloc(Value::i64(8));
+        f.store(Type::Ptr, data, cell); // spill the pointer
+        let p = f.load(Type::Ptr, cell); // reload it
+        let v = f.load(Type::I64, p); // dereference
+        f.output(Type::I64, v);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let r = Interpreter::new(&m, ExecConfig::default())
+            .golden_run("main", &[])
+            .expect("runs");
+        assert_eq!(r.outputs, vec![77]);
+        let t = r.trace.expect("trace");
+        let ddg = build_ddg(&m, &t);
+        let ace = AceGraph::compute(&ddg, AceConfig::default());
+        let map = propagate(&m, &t, &ddg, &ace, CrashModelConfig::default());
+        // The `store ptr data, cell` record: its *value* operand (slot 0)
+        // holds an address that is later dereferenced → constrained.
+        let ptr_store = t
+            .iter()
+            .filter(|r| r.mem.as_ref().is_some_and(|m| m.is_store))
+            .nth(1)
+            .expect("second store");
+        let c = map
+            .use_constraint(ptr_store.idx, 0)
+            .expect("spilled pointer constrained");
+        assert!(c.range.contains(ptr_store.operands[0].bits));
+        assert!(!c.range.is_full());
+    }
+
+    #[test]
+    fn crash_map_accounting_consistency() {
+        let (_m, _t, ddg, ace, map) = analyzed();
+        assert!(map.n_uses() > 0);
+        assert!(map.n_nodes() > 0);
+        let ace_bits = map.ace_register_crash_bits(&ddg, &ace);
+        assert!(
+            ace_bits > 0,
+            "address registers are ACE and crash-constrained"
+        );
+        assert!(ace_bits <= ace.register_bits());
+        assert!(map.total_use_crash_bits() >= ace_bits / 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! The parallel propagation of §VI-A must agree with the serial pass.
+
+use epvf_core::{analyze, propagate, propagate_parallel, CrashModelConfig, EpvfConfig};
+use epvf_workloads::{suite, Scale};
+
+#[test]
+fn parallel_matches_serial_on_the_suite() {
+    for w in suite(Scale::Tiny) {
+        let golden = w.golden();
+        let trace = golden.trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let serial = propagate(
+            &w.module,
+            trace,
+            &res.ddg,
+            &res.ace,
+            CrashModelConfig::default(),
+        );
+        for threads in [2, 4, 7] {
+            let par = propagate_parallel(
+                &w.module,
+                trace,
+                &res.ddg,
+                &res.ace,
+                CrashModelConfig::default(),
+                threads,
+            );
+            assert_eq!(
+                serial.total_use_crash_bits(),
+                par.total_use_crash_bits(),
+                "{} with {threads} threads: crash-bit totals must match",
+                w.name
+            );
+            assert_eq!(serial.n_uses(), par.n_uses(), "{}", w.name);
+            assert_eq!(
+                serial.ace_register_crash_bits(&res.ddg, &res.ace),
+                par.ace_register_crash_bits(&res.ddg, &res.ace),
+                "{}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn single_thread_falls_back_to_serial() {
+    let w = epvf_workloads::mm::build(Scale::Tiny);
+    let golden = w.golden();
+    let trace = golden.trace.as_ref().expect("traced");
+    let res = analyze(&w.module, trace, EpvfConfig::default());
+    let serial = propagate(
+        &w.module,
+        trace,
+        &res.ddg,
+        &res.ace,
+        CrashModelConfig::default(),
+    );
+    let one = propagate_parallel(
+        &w.module,
+        trace,
+        &res.ddg,
+        &res.ace,
+        CrashModelConfig::default(),
+        1,
+    );
+    assert_eq!(serial, one);
+}

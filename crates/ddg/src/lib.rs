@@ -1,0 +1,46 @@
+//! # epvf-ddg — dynamic dependency graph and ACE analysis
+//!
+//! Implements §III-A of the ePVF paper: from a dynamic instruction trace,
+//! build the dynamic dependency graph (DDG) whose vertices are dynamic
+//! register instances, memory-cell versions, and external inputs, with
+//! *virtual* addressing edges linking loads/stores to the registers holding
+//! their addresses; then compute the **ACE graph** by reverse breadth-first
+//! search from the program's output nodes.
+//!
+//! The ACE graph's register bit count over the DDG's total register bits is
+//! the PVF of the used-registers resource (paper Eq. 1 as instantiated in
+//! the worked pathfinder example); the crash/propagation model of
+//! `epvf-core` subtracts crash bits from it to obtain ePVF.
+//!
+//! ```
+//! use epvf_ddg::{build_ddg, AceConfig, AceGraph};
+//! use epvf_interp::{ExecConfig, Interpreter};
+//! use epvf_ir::{ModuleBuilder, Type, Value};
+//!
+//! let mut mb = ModuleBuilder::new("m");
+//! let mut f = mb.function("main", vec![], None);
+//! let x = f.add(Type::I32, Value::i32(2), Value::i32(3));
+//! let dead = f.add(Type::I64, Value::i64(1), Value::i64(1));
+//! let _ = f.mul(Type::I64, dead, dead);
+//! f.output(Type::I32, x);
+//! f.ret(None);
+//! f.finish();
+//! let module = mb.finish()?;
+//!
+//! let run = Interpreter::new(&module, ExecConfig::default()).golden_run("main", &[])?;
+//! let ddg = build_ddg(&module, run.trace.as_ref().expect("traced"));
+//! let ace = AceGraph::compute(&ddg, AceConfig::default());
+//! assert_eq!(ace.register_bits(), 32);         // only `x` reaches the output
+//! assert!(ace.pvf(&ddg) < 1.0);                // the dead chain dilutes PVF
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ace;
+mod build;
+mod graph;
+
+pub use ace::{AceConfig, AceGraph};
+pub use build::{build_ddg, build_ddg_with, DdgConfig};
+pub use graph::{Ddg, EdgeKind, Node, NodeId, NodeKind};

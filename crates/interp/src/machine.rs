@@ -1,0 +1,982 @@
+//! The IR interpreter.
+//!
+//! Executes a verified [`Module`] over [`SimMemory`], producing a
+//! [`RunResult`] and (optionally) a full dynamic [`Trace`]. A single-bit
+//! fault can be injected into any source-register read via
+//! [`InjectionSpec`] — the LLFI fault model of the paper (§IV-A: "inject
+//! faults into the source registers for the executed instructions ... all
+//! faults are activated").
+
+use crate::outcome::{CrashKind, Outcome, RunResult};
+use crate::trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};
+use epvf_ir::{
+    BinOp, CastOp, FBinOp, FUnOp, FcmpPred, FuncId, IcmpPred, Inst, Module, Op, Type, Value,
+    ValueId,
+};
+use epvf_memsim::{MemConfig, SimMemory};
+use std::fmt;
+
+/// Bytes charged per call frame (saved registers / linkage), so the
+/// simulated stack pointer descends realistically.
+const FRAME_OVERHEAD: u64 = 128;
+
+/// Execution limits and tracing switches.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Memory-system configuration (alignment policy, layout slide, …).
+    pub mem: MemConfig,
+    /// Dynamic-instruction budget; exceeding it classifies the run as a
+    /// [`Outcome::Hang`].
+    pub max_dyn_insts: u64,
+    /// Record a full dynamic trace (golden runs only — it is large).
+    pub record_trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            mem: MemConfig::default(),
+            max_dyn_insts: 50_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+/// A single-bit fault to inject: at dynamic instruction `dyn_idx`, flip
+/// `bit` of the operand in `operand_slot` (slot order = [`Op::operands`])
+/// as it is read from the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InjectionSpec {
+    /// Dynamic index of the target instruction (0-based trace position).
+    pub dyn_idx: u64,
+    /// Which source operand to corrupt.
+    pub operand_slot: usize,
+    /// Which bit to flip (0 = LSB; must be below the operand width).
+    pub bit: u8,
+}
+
+/// Where a generalized fault lands within the target instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultTarget {
+    /// Corrupt one source-operand read — the paper's model ("inject faults
+    /// into the source registers"). The flip affects only this read.
+    Operand(usize),
+    /// Corrupt the instruction's *result* as it is written — LLFI's default
+    /// destination-register model. The flip persists for every later use of
+    /// the defined value.
+    Result,
+}
+
+/// A generalized fault: like [`InjectionSpec`] but with an arbitrary XOR
+/// mask (the §II-E multi-bit extension) and a choice of source- vs
+/// destination-register corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MultiBitSpec {
+    /// Dynamic index of the target instruction.
+    pub dyn_idx: u64,
+    /// Where the corruption lands.
+    pub target: FaultTarget,
+    /// XOR mask applied to the value (pre-masked to its width).
+    pub mask: u64,
+}
+
+impl From<InjectionSpec> for MultiBitSpec {
+    fn from(s: InjectionSpec) -> Self {
+        MultiBitSpec {
+            dyn_idx: s.dyn_idx,
+            target: FaultTarget::Operand(s.operand_slot),
+            mask: 1u64 << (s.bit & 63),
+        }
+    }
+}
+
+/// Setup errors — misuse of the interpreter API, not simulated faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The requested entry function does not exist.
+    NoSuchFunction(String),
+    /// Wrong number of entry arguments.
+    BadArity {
+        /// Arguments expected by the entry function.
+        expected: u32,
+        /// Arguments supplied.
+        given: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoSuchFunction(n) => write!(f, "no function named @{n}"),
+            ExecError::BadArity { expected, given } => {
+                write!(f, "entry expects {expected} arguments, {given} given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The interpreter. Stateless across runs: each `run*` call executes on a
+/// fresh simulated address space, which is what makes golden and injected
+/// runs byte-identical up to the injection point.
+///
+/// # Examples
+///
+/// ```
+/// use epvf_interp::{ExecConfig, Interpreter, Outcome};
+/// use epvf_ir::{ModuleBuilder, Type, Value};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let mut f = mb.function("main", vec![], None);
+/// let s = f.add(Type::I32, Value::i32(40), Value::i32(2));
+/// f.output(Type::I32, s);
+/// f.ret(None);
+/// f.finish();
+/// let module = mb.finish()?;
+///
+/// let interp = Interpreter::new(&module, ExecConfig::default());
+/// let result = interp.run("main", &[])?;
+/// assert_eq!(result.outcome, Outcome::Completed);
+/// assert_eq!(result.outputs, vec![42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Wrap a verified module.
+    pub fn new(module: &'m Module, config: ExecConfig) -> Self {
+        Interpreter { module, config }
+    }
+
+    /// The module being interpreted.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Run `entry(args…)` fault-free.
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn run(&self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
+        self.run_inner(entry, args, None)
+    }
+
+    /// Run with a full dynamic trace regardless of
+    /// [`ExecConfig::record_trace`] — the golden run of the ePVF pipeline.
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn golden_run(&self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
+        let mut cfg = self.config;
+        cfg.record_trace = true;
+        Exec::new(self.module, cfg, None).run(entry, args)
+    }
+
+    /// Run with a single-bit fault injected.
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn run_injected(
+        &self,
+        entry: &str,
+        args: &[u64],
+        spec: InjectionSpec,
+    ) -> Result<RunResult, ExecError> {
+        self.run_inner(entry, args, Some(spec.into()))
+    }
+
+    /// Run with a multi-bit (XOR-mask) fault injected (§II-E extension).
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn run_injected_multibit(
+        &self,
+        entry: &str,
+        args: &[u64],
+        spec: MultiBitSpec,
+    ) -> Result<RunResult, ExecError> {
+        self.run_inner(entry, args, Some(spec))
+    }
+
+    fn run_inner(
+        &self,
+        entry: &str,
+        args: &[u64],
+        spec: Option<MultiBitSpec>,
+    ) -> Result<RunResult, ExecError> {
+        Exec::new(self.module, self.config, spec).run(entry, args)
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    ip: usize,
+    regs: Vec<u64>,
+    dynid: Vec<DynValueId>,
+    sp: u64,
+    /// Caller register that receives our return value.
+    ret_to: Option<ValueId>,
+}
+
+struct Exec<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+    mem: SimMemory,
+    frames: Vec<Frame>,
+    outputs: Vec<u64>,
+    output_tys: Vec<Type>,
+    trace: Trace,
+    dyn_count: u64,
+    next_dyn: u64,
+    injection: Option<MultiBitSpec>,
+    global_addrs: Vec<u64>,
+}
+
+enum Flow {
+    /// Fall through to the next instruction.
+    Next,
+    /// Jump within the current function.
+    Jump(usize),
+    /// Pop the current frame with an optional return value.
+    Return(Option<(u64, Option<DynValueId>)>),
+    /// A frame was pushed; start executing it.
+    Enter,
+    /// Terminate the whole run.
+    Stop(Outcome),
+}
+
+impl<'m> Exec<'m> {
+    fn new(module: &'m Module, config: ExecConfig, injection: Option<MultiBitSpec>) -> Self {
+        Exec {
+            module,
+            config,
+            mem: SimMemory::new(config.mem),
+            frames: Vec::new(),
+            outputs: Vec::new(),
+            output_tys: Vec::new(),
+            trace: Trace::default(),
+            dyn_count: 0,
+            next_dyn: 0,
+            injection,
+            global_addrs: Vec::new(),
+        }
+    }
+
+    fn fresh_dyn(&mut self) -> DynValueId {
+        let id = DynValueId(self.next_dyn);
+        self.next_dyn += 1;
+        id
+    }
+
+    fn run(mut self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
+        let func = self
+            .module
+            .func_by_name(entry)
+            .ok_or_else(|| ExecError::NoSuchFunction(entry.to_string()))?;
+        if args.len() != func.n_params as usize {
+            return Err(ExecError::BadArity {
+                expected: func.n_params,
+                given: args.len(),
+            });
+        }
+
+        // Materialize globals in the data segment.
+        let mut global_addrs = Vec::with_capacity(self.module.globals.len());
+        for g in &self.module.globals {
+            let base = self.mem.place_global(g.size, g.align);
+            self.mem.write_bytes_raw(base, &g.init);
+            global_addrs.push(base);
+        }
+        self.global_addrs = global_addrs;
+
+        // Entry frame.
+        let sp = self.mem.stack_top() - FRAME_OVERHEAD;
+        let mut regs = vec![0u64; func.n_values() as usize];
+        let mut dynid = vec![DynValueId(u64::MAX); func.n_values() as usize];
+        for (i, a) in args.iter().enumerate() {
+            let ty = func.value_types[i];
+            regs[i] = ty.truncate_payload(*a);
+            dynid[i] = self.fresh_dyn();
+        }
+        self.frames.push(Frame {
+            func: func.id,
+            block: 0,
+            ip: 0,
+            regs,
+            dynid,
+            sp,
+            ret_to: None,
+        });
+
+        let outcome = self.exec_loop();
+        Ok(RunResult {
+            outcome,
+            outputs: std::mem::take(&mut self.outputs),
+            output_tys: std::mem::take(&mut self.output_tys),
+            dyn_insts: self.dyn_count,
+            trace: self
+                .config
+                .record_trace
+                .then(|| std::mem::take(&mut self.trace)),
+        })
+    }
+
+    fn exec_loop(&mut self) -> Outcome {
+        loop {
+            if self.dyn_count >= self.config.max_dyn_insts {
+                return Outcome::Hang;
+            }
+            let module = self.module;
+            let frame = self.frames.last().expect("frame stack never empty here");
+            let func = &module.functions[frame.func.index()];
+            let block = &func.blocks[frame.block];
+            let inst: &'m Inst = &block.insts[frame.ip];
+
+            match self.exec_inst(inst) {
+                Flow::Next => {
+                    let f = self.frames.last_mut().expect("frame exists");
+                    f.ip += 1;
+                }
+                Flow::Jump(target) => {
+                    let f = self.frames.last_mut().expect("frame exists");
+                    let prev = f.block;
+                    f.block = target;
+                    f.ip = 0;
+                    // Resolve the block's leading phi batch.
+                    if let Some(o) = self.exec_phis(prev) {
+                        return o;
+                    }
+                }
+                Flow::Enter => {
+                    // New frame pushed by a call; phis cannot lead an entry
+                    // block (no predecessors), so just continue.
+                }
+                Flow::Return(val) => {
+                    let done = self.frames.pop().expect("frame exists");
+                    if self.frames.is_empty() {
+                        return Outcome::Completed;
+                    }
+                    if let Some(ret_reg) = done.ret_to {
+                        let (bits, src) = val.unwrap_or((0, None));
+                        let id = match src {
+                            Some(id) => id,
+                            None => self.fresh_dyn(),
+                        };
+                        let caller = self.frames.last_mut().expect("frame exists");
+                        caller.regs[ret_reg.index()] = bits;
+                        caller.dynid[ret_reg.index()] = id;
+                    }
+                    let caller = self.frames.last_mut().expect("frame exists");
+                    caller.ip += 1;
+                }
+                Flow::Stop(outcome) => return outcome,
+            }
+        }
+    }
+
+    /// Evaluate the leading phi instructions of the current block as one
+    /// parallel assignment (reads before writes), emitting one dynamic
+    /// record per phi. Advances `ip` past the phi batch. Returns a terminal
+    /// outcome if the instruction budget is exhausted mid-batch.
+    fn exec_phis(&mut self, prev_block: usize) -> Option<Outcome> {
+        let module = self.module;
+        let (func_id, block_idx) = {
+            let frame = self.frames.last().expect("frame exists");
+            (frame.func, frame.block)
+        };
+        let block = &module.functions[func_id.index()].blocks[block_idx];
+
+        let mut staged: Vec<(ValueId, u64, &'m Inst, Value)> = Vec::new();
+        for inst in &block.insts {
+            let Op::Phi { incomings, .. } = &inst.op else {
+                break;
+            };
+            let taken = incomings
+                .iter()
+                .find(|(bb, _)| bb.index() == prev_block)
+                .map(|(_, v)| *v)
+                .expect("verifier guarantees phi covers all predecessors");
+            if self.dyn_count >= self.config.max_dyn_insts {
+                return Some(Outcome::Hang);
+            }
+            let dyn_idx = self.dyn_count;
+            self.dyn_count += 1;
+            let (bits, src) = self.read_operand(dyn_idx, 0, taken);
+            let result = inst.result.expect("phi defines");
+            if self.config.record_trace {
+                self.trace.records.push(DynInst {
+                    idx: dyn_idx,
+                    sid: inst.sid,
+                    func: func_id,
+                    result: None, // patched below with the committed dyn id
+                    operands: vec![OperandRec {
+                        value: taken,
+                        bits,
+                        src,
+                    }],
+                    mem: None,
+                });
+            }
+            staged.push((result, bits, inst, taken));
+        }
+        // Commit after all reads (parallel-assignment semantics).
+        let n = staged.len();
+        for (i, (reg, mut bits, _inst, _taken)) in staged.into_iter().enumerate() {
+            if let Some(spec) = self.injection {
+                let this_dyn = self.dyn_count - n as u64 + i as u64;
+                if spec.target == FaultTarget::Result && spec.dyn_idx == this_dyn {
+                    let frame = self.frames.last().expect("frame exists");
+                    let ty = self.module.functions[frame.func.index()].value_types[reg.index()];
+                    bits = ty.truncate_payload(bits ^ spec.mask);
+                }
+            }
+            let id = self.fresh_dyn();
+            let frame = self.frames.last_mut().expect("frame exists");
+            frame.regs[reg.index()] = bits;
+            frame.dynid[reg.index()] = id;
+            if self.config.record_trace {
+                let ridx = self.trace.records.len() - n + i;
+                self.trace.records[ridx].result = Some((reg, bits, id));
+            }
+        }
+        let frame = self.frames.last_mut().expect("frame exists");
+        frame.ip += n;
+        None
+    }
+
+    /// Read one operand, applying the injection if this (dyn, slot) is the
+    /// target. Returns the (possibly corrupted) bits and the dynamic source.
+    fn read_operand(&mut self, dyn_idx: u64, slot: usize, v: Value) -> (u64, Option<DynValueId>) {
+        let frame = self.frames.last().expect("frame exists");
+        let (mut bits, src) = match v {
+            Value::Reg(r) => (frame.regs[r.index()], Some(frame.dynid[r.index()])),
+            Value::ConstInt { bits, .. } | Value::ConstFloat { bits, .. } => (bits, None),
+            Value::Global(g) => (self.global_addrs[g.index()], None),
+        };
+        if let Some(spec) = self.injection {
+            if spec.dyn_idx == dyn_idx && spec.target == FaultTarget::Operand(slot) {
+                bits ^= spec.mask;
+            }
+        }
+        (bits, src)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(&mut self, inst: &'m Inst) -> Flow {
+        let dyn_idx = self.dyn_count;
+        self.dyn_count += 1;
+        let func_id = self.frames.last().expect("frame exists").func;
+
+        // Operand reads (slot order = Op::operands()).
+        let mut rec_ops: Vec<OperandRec> = Vec::new();
+        let record = |ops: &mut Vec<OperandRec>, v: Value, bits: u64, src| {
+            ops.push(OperandRec {
+                value: v,
+                bits,
+                src,
+            });
+        };
+        let tracing = self.config.record_trace;
+
+        macro_rules! read {
+            ($slot:expr, $v:expr) => {{
+                let (bits, src) = self.read_operand(dyn_idx, $slot, $v);
+                if tracing {
+                    record(&mut rec_ops, $v, bits, src);
+                }
+                (bits, src)
+            }};
+        }
+
+        let mut mem_rec: Option<MemAccessRec> = None;
+        let mut result: Option<(ValueId, u64, DynValueId)> = None;
+
+        let flow: Flow = match &inst.op {
+            Op::Bin { op, ty, a, b } => {
+                let (av, _) = read!(0, *a);
+                let (bv, _) = read!(1, *b);
+                match eval_bin(*op, *ty, av, bv) {
+                    Ok(v) => {
+                        result = Some(self.define(inst, v));
+                        Flow::Next
+                    }
+                    Err(kind) => Flow::Stop(Outcome::Crashed {
+                        kind,
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::FBin { op, ty, a, b } => {
+                let (av, _) = read!(0, *a);
+                let (bv, _) = read!(1, *b);
+                let v = eval_fbin(*op, *ty, av, bv);
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::FUn { op, ty, a } => {
+                let (av, _) = read!(0, *a);
+                let v = eval_fun(*op, *ty, av);
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Icmp { pred, ty, a, b } => {
+                let (av, _) = read!(0, *a);
+                let (bv, _) = read!(1, *b);
+                let v = eval_icmp(*pred, *ty, av, bv) as u64;
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Fcmp { pred, ty, a, b } => {
+                let (av, _) = read!(0, *a);
+                let (bv, _) = read!(1, *b);
+                let v = eval_fcmp(*pred, *ty, av, bv) as u64;
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Cast {
+                op,
+                from_ty,
+                to_ty,
+                a,
+            } => {
+                let (av, _) = read!(0, *a);
+                let v = eval_cast(*op, *from_ty, *to_ty, av);
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Select { cond, a, b, .. } => {
+                let (cv, _) = read!(0, *cond);
+                let (av, _) = read!(1, *a);
+                let (bv, _) = read!(2, *b);
+                let v = if cv & 1 == 1 { av } else { bv };
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Phi { .. } => unreachable!("phis are executed by exec_phis"),
+            Op::Load { ty, addr } => {
+                let (ap, _) = read!(0, *addr);
+                let sp = self.frames.last().expect("frame exists").sp;
+                let size = ty.bytes();
+                match self.mem.read(ap, size, sp) {
+                    Ok(v) => {
+                        if tracing {
+                            mem_rec = Some(MemAccessRec {
+                                addr: ap,
+                                size,
+                                is_store: false,
+                                sp,
+                                map: self.mem.snapshot_map(),
+                            });
+                        }
+                        result = Some(self.define(inst, v));
+                        Flow::Next
+                    }
+                    Err(e) => Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::Store { ty, val, addr } => {
+                let (vv, _) = read!(0, *val);
+                let (ap, _) = read!(1, *addr);
+                let sp = self.frames.last().expect("frame exists").sp;
+                let size = ty.bytes();
+                match self.mem.write(ap, size, ty.truncate_payload(vv), sp) {
+                    Ok(()) => {
+                        if tracing {
+                            mem_rec = Some(MemAccessRec {
+                                addr: ap,
+                                size,
+                                is_store: true,
+                                sp,
+                                map: self.mem.snapshot_map(),
+                            });
+                        }
+                        Flow::Next
+                    }
+                    Err(e) => Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::Alloca { size, align } => {
+                let frame = self.frames.last_mut().expect("frame exists");
+                let new_sp = frame.sp.saturating_sub(*size) & !(*align - 1);
+                frame.sp = new_sp;
+                match self.mem.grow_stack_to(new_sp) {
+                    Ok(()) => {
+                        result = Some(self.define(inst, new_sp));
+                        Flow::Next
+                    }
+                    Err(e) => Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::Gep {
+                base,
+                index,
+                elem_size,
+            } => {
+                let (bv, _) = read!(0, *base);
+                let (iv, src) = read!(1, *index);
+                // Index is sign-extended from its own type.
+                let ity = self.operand_ty(*index, src);
+                let idx = ity.sign_extend(iv);
+                let v = bv.wrapping_add((*elem_size as i64).wrapping_mul(idx) as u64);
+                result = Some(self.define(inst, v));
+                Flow::Next
+            }
+            Op::Malloc { size } => {
+                let (sv, _) = read!(0, *size);
+                match self.mem.malloc(sv) {
+                    Ok(p) => {
+                        result = Some(self.define(inst, p));
+                        Flow::Next
+                    }
+                    Err(e) => Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::Free { ptr } => {
+                let (pv, _) = read!(0, *ptr);
+                match self.mem.free(pv) {
+                    Ok(()) => Flow::Next,
+                    Err(e) => Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    }),
+                }
+            }
+            Op::Call { callee, args } => {
+                let cf = &self.module.functions[callee.index()];
+                let mut regs = vec![0u64; cf.n_values() as usize];
+                let mut dynid = vec![DynValueId(u64::MAX); cf.n_values() as usize];
+                for (i, a) in args.iter().enumerate() {
+                    let (bits, src) = read!(i, *a);
+                    regs[i] = bits;
+                    dynid[i] = match src {
+                        Some(id) => id,
+                        None => self.fresh_dyn(),
+                    };
+                }
+                let caller_sp = self.frames.last().expect("frame exists").sp;
+                let sp = caller_sp - FRAME_OVERHEAD;
+                if let Err(e) = self.mem.grow_stack_to(sp) {
+                    return Flow::Stop(Outcome::Crashed {
+                        kind: e.into(),
+                        at_dyn: dyn_idx,
+                    });
+                }
+                self.frames.push(Frame {
+                    func: *callee,
+                    block: 0,
+                    ip: 0,
+                    regs,
+                    dynid,
+                    sp,
+                    ret_to: inst.result,
+                });
+                Flow::Enter
+            }
+            Op::Br { target } => Flow::Jump(target.index()),
+            Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let (cv, _) = read!(0, *cond);
+                Flow::Jump(if cv & 1 == 1 {
+                    then_bb.index()
+                } else {
+                    else_bb.index()
+                })
+            }
+            Op::Ret { val } => match val {
+                Some(v) => {
+                    let (bits, src) = read!(0, *v);
+                    Flow::Return(Some((bits, src)))
+                }
+                None => Flow::Return(None),
+            },
+            Op::Output { ty, val } => {
+                let (bits, _) = read!(0, *val);
+                self.outputs.push(bits);
+                self.output_tys.push(*ty);
+                Flow::Next
+            }
+            Op::Detect => Flow::Stop(Outcome::Detected),
+            Op::DetectIf { cond } => {
+                let (cv, _) = read!(0, *cond);
+                if cv & 1 == 1 {
+                    Flow::Stop(Outcome::Detected)
+                } else {
+                    Flow::Next
+                }
+            }
+        };
+
+        if tracing {
+            self.trace.records.push(DynInst {
+                idx: dyn_idx,
+                sid: inst.sid,
+                func: func_id,
+                result,
+                operands: rec_ops,
+                mem: mem_rec,
+            });
+        }
+        flow
+    }
+
+    /// Bind an instruction result: truncate to the result type, apply any
+    /// result-targeted fault, assign a fresh dynamic id, store into the
+    /// frame.
+    fn define(&mut self, inst: &Inst, raw: u64) -> (ValueId, u64, DynValueId) {
+        let reg = inst.result.expect("instruction defines a value");
+        let frame = self.frames.last().expect("frame exists");
+        let ty = self.module.functions[frame.func.index()].value_types[reg.index()];
+        let mut bits = ty.truncate_payload(raw);
+        if let Some(spec) = self.injection {
+            // dyn_count was already advanced past this instruction.
+            if spec.target == FaultTarget::Result && spec.dyn_idx + 1 == self.dyn_count {
+                bits = ty.truncate_payload(bits ^ spec.mask);
+            }
+        }
+        let id = self.fresh_dyn();
+        let frame = self.frames.last_mut().expect("frame exists");
+        frame.regs[reg.index()] = bits;
+        frame.dynid[reg.index()] = id;
+        (reg, bits, id)
+    }
+
+    fn operand_ty(&self, v: Value, _src: Option<DynValueId>) -> Type {
+        match v {
+            Value::Reg(r) => {
+                let frame = self.frames.last().expect("frame exists");
+                self.module.functions[frame.func.index()].value_types[r.index()]
+            }
+            Value::ConstInt { ty, .. } | Value::ConstFloat { ty, .. } => ty,
+            Value::Global(_) => Type::Ptr,
+        }
+    }
+}
+
+// ----- scalar semantics -----
+
+trait PayloadExt {
+    fn truncate_payload(self, raw: u64) -> u64;
+}
+
+impl PayloadExt for Type {
+    /// Truncate integers to width; floats keep their full payload (f32 uses
+    /// the low 32 bits).
+    fn truncate_payload(self, raw: u64) -> u64 {
+        if self.is_float() {
+            if self == Type::F32 {
+                raw & 0xFFFF_FFFF
+            } else {
+                raw
+            }
+        } else {
+            self.truncate(raw)
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, ty: Type, a: u64, b: u64) -> Result<u64, CrashKind> {
+    let w = ty.bits();
+    let sa = ty.sign_extend(a);
+    let sb = ty.sign_extend(b);
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => {
+            if b == 0 {
+                return Err(CrashKind::Arithmetic);
+            }
+            a / b
+        }
+        BinOp::SDiv => {
+            if sb == 0 || (sa == min_signed(w) && sb == -1) {
+                return Err(CrashKind::Arithmetic);
+            }
+            (sa / sb) as u64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Err(CrashKind::Arithmetic);
+            }
+            a % b
+        }
+        BinOp::SRem => {
+            if sb == 0 || (sa == min_signed(w) && sb == -1) {
+                return Err(CrashKind::Arithmetic);
+            }
+            (sa % sb) as u64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b % u64::from(w)) as u32),
+        BinOp::LShr => a.wrapping_shr((b % u64::from(w)) as u32),
+        BinOp::AShr => {
+            let sh = (b % u64::from(w)) as u32;
+            (sa >> sh) as u64
+        }
+    };
+    Ok(ty.truncate(v))
+}
+
+fn min_signed(width: u32) -> i64 {
+    if width >= 64 {
+        i64::MIN
+    } else {
+        -(1i64 << (width - 1))
+    }
+}
+
+fn eval_fbin(op: FBinOp, ty: Type, a: u64, b: u64) -> u64 {
+    if ty == Type::F32 {
+        let x = f32::from_bits(a as u32);
+        let y = f32::from_bits(b as u32);
+        let r = match op {
+            FBinOp::FAdd => x + y,
+            FBinOp::FSub => x - y,
+            FBinOp::FMul => x * y,
+            FBinOp::FDiv => x / y,
+            FBinOp::FPow => x.powf(y),
+            FBinOp::FMin => x.min(y),
+            FBinOp::FMax => x.max(y),
+        };
+        u64::from(r.to_bits())
+    } else {
+        let x = f64::from_bits(a);
+        let y = f64::from_bits(b);
+        let r = match op {
+            FBinOp::FAdd => x + y,
+            FBinOp::FSub => x - y,
+            FBinOp::FMul => x * y,
+            FBinOp::FDiv => x / y,
+            FBinOp::FPow => x.powf(y),
+            FBinOp::FMin => x.min(y),
+            FBinOp::FMax => x.max(y),
+        };
+        r.to_bits()
+    }
+}
+
+fn eval_fun(op: FUnOp, ty: Type, a: u64) -> u64 {
+    if ty == Type::F32 {
+        let x = f32::from_bits(a as u32);
+        let r = match op {
+            FUnOp::FNeg => -x,
+            FUnOp::Sqrt => x.sqrt(),
+            FUnOp::Exp => x.exp(),
+            FUnOp::Log => x.ln(),
+            FUnOp::Fabs => x.abs(),
+            FUnOp::Floor => x.floor(),
+            FUnOp::Round => x.round(),
+            FUnOp::Sin => x.sin(),
+            FUnOp::Cos => x.cos(),
+        };
+        u64::from(r.to_bits())
+    } else {
+        let x = f64::from_bits(a);
+        let r = match op {
+            FUnOp::FNeg => -x,
+            FUnOp::Sqrt => x.sqrt(),
+            FUnOp::Exp => x.exp(),
+            FUnOp::Log => x.ln(),
+            FUnOp::Fabs => x.abs(),
+            FUnOp::Floor => x.floor(),
+            FUnOp::Round => x.round(),
+            FUnOp::Sin => x.sin(),
+            FUnOp::Cos => x.cos(),
+        };
+        r.to_bits()
+    }
+}
+
+fn eval_icmp(pred: IcmpPred, ty: Type, a: u64, b: u64) -> bool {
+    let (ua, ub) = (ty.truncate(a), ty.truncate(b));
+    let (sa, sb) = (ty.sign_extend(a), ty.sign_extend(b));
+    match pred {
+        IcmpPred::Eq => ua == ub,
+        IcmpPred::Ne => ua != ub,
+        IcmpPred::Ult => ua < ub,
+        IcmpPred::Ule => ua <= ub,
+        IcmpPred::Ugt => ua > ub,
+        IcmpPred::Uge => ua >= ub,
+        IcmpPred::Slt => sa < sb,
+        IcmpPred::Sle => sa <= sb,
+        IcmpPred::Sgt => sa > sb,
+        IcmpPred::Sge => sa >= sb,
+    }
+}
+
+fn eval_fcmp(pred: FcmpPred, ty: Type, a: u64, b: u64) -> bool {
+    let (x, y) = if ty == Type::F32 {
+        (
+            f64::from(f32::from_bits(a as u32)),
+            f64::from(f32::from_bits(b as u32)),
+        )
+    } else {
+        (f64::from_bits(a), f64::from_bits(b))
+    };
+    match pred {
+        FcmpPred::Oeq => x == y,
+        FcmpPred::One => x != y && !x.is_nan() && !y.is_nan(),
+        FcmpPred::Olt => x < y,
+        FcmpPred::Ole => x <= y,
+        FcmpPred::Ogt => x > y,
+        FcmpPred::Oge => x >= y,
+    }
+}
+
+fn eval_cast(op: CastOp, from_ty: Type, to_ty: Type, a: u64) -> u64 {
+    match op {
+        CastOp::Trunc => to_ty.truncate(a),
+        CastOp::ZExt => from_ty.truncate(a),
+        CastOp::SExt => to_ty.truncate(from_ty.sign_extend(a) as u64),
+        CastOp::FpToSi => {
+            let x = if from_ty == Type::F32 {
+                f64::from(f32::from_bits(a as u32))
+            } else {
+                f64::from_bits(a)
+            };
+            to_ty.truncate((x as i64) as u64)
+        }
+        CastOp::SiToFp => {
+            let s = from_ty.sign_extend(a) as f64;
+            if to_ty == Type::F32 {
+                u64::from((s as f32).to_bits())
+            } else {
+                s.to_bits()
+            }
+        }
+        CastOp::UiToFp => {
+            let u = from_ty.truncate(a) as f64;
+            if to_ty == Type::F32 {
+                u64::from((u as f32).to_bits())
+            } else {
+                u.to_bits()
+            }
+        }
+        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => to_ty.truncate_payload(a),
+        CastOp::FpExt => f64::from(f32::from_bits(a as u32)).to_bits(),
+        CastOp::FpTrunc => u64::from((f64::from_bits(a) as f32).to_bits()),
+    }
+}

@@ -1,0 +1,137 @@
+//! Dynamic instruction trace.
+//!
+//! The paper's ePVF pipeline consumes a *dynamic IR instruction trace* — the
+//! sequence of executed instructions with their runtime operand values,
+//! memory addresses, and (for memory accesses) a snapshot of the live memory
+//! map (the `/proc` probe of §III-D). [`Trace`] is that artifact.
+
+use epvf_ir::{FuncId, StaticInstId, Value, ValueId};
+use epvf_memsim::MemoryMap;
+use serde::{Deserialize, Serialize};
+
+/// Identity of one *dynamic register instance*.
+///
+/// SSA registers are static names; at runtime, a register in a function
+/// executed many times (or recursively) takes many values. Each definition
+/// event gets a fresh `DynValueId` — these are the vertices of the DDG.
+/// Values passed through calls/returns keep their id (parameter passing and
+/// `ret` are transparent), mirroring the paper's treatment of a value
+/// flowing through registers as a single entity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct DynValueId(pub u64);
+
+impl DynValueId {
+    /// Index form for side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operand as observed at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperandRec {
+    /// The static operand (register / constant / global).
+    pub value: Value,
+    /// The runtime bit pattern actually used (after any injected flip).
+    pub bits: u64,
+    /// For register operands: the dynamic value read. `None` for constants
+    /// and globals.
+    pub src: Option<DynValueId>,
+}
+
+/// A memory access performed by a load or store, with the live segment
+/// boundaries at that instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemAccessRec {
+    /// The accessed address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// The stack pointer at the access (input to the Linux stack rule).
+    pub sp: u64,
+    /// Snapshot of the memory map (the simulated `/proc/self/maps` probe).
+    pub map: MemoryMap,
+}
+
+/// One executed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Position in the dynamic trace (0-based).
+    pub idx: u64,
+    /// The static instruction executed.
+    pub sid: StaticInstId,
+    /// The function it belongs to (for register-type lookups).
+    pub func: FuncId,
+    /// Result register, its value, and its fresh dynamic id, if the
+    /// instruction defines one.
+    pub result: Option<(ValueId, u64, DynValueId)>,
+    /// Operands as read. For `phi`, only the taken incoming is recorded.
+    pub operands: Vec<OperandRec>,
+    /// Memory access details for loads/stores.
+    pub mem: Option<MemAccessRec>,
+}
+
+/// A complete dynamic trace of one (golden) run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Executed instructions in order.
+    pub records: Vec<DynInst>,
+}
+
+impl Trace {
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInst> {
+        self.records.iter()
+    }
+
+    /// The record at dynamic index `idx`.
+    pub fn get(&self, idx: u64) -> Option<&DynInst> {
+        self.records.get(idx as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInst;
+    type IntoIter = std::slice::Iter<'a, DynInst>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_container_basics() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.records.push(DynInst {
+            idx: 0,
+            sid: StaticInstId(3),
+            func: FuncId(0),
+            result: None,
+            operands: vec![],
+            mem: None,
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0).map(|r| r.sid), Some(StaticInstId(3)));
+        assert!(t.get(1).is_none());
+        assert_eq!((&t).into_iter().count(), 1);
+    }
+}

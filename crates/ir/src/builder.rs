@@ -1,0 +1,663 @@
+//! Ergonomic construction of modules and functions.
+//!
+//! [`ModuleBuilder`] owns the module under construction and hands out
+//! [`FunctionBuilder`]s that append instructions to one function at a time,
+//! mirroring the `IRBuilder` style of LLVM. [`ModuleBuilder::finish`] runs the
+//! [verifier](crate::verify) so that only well-formed modules escape.
+//!
+//! # Examples
+//!
+//! ```
+//! use epvf_ir::{ModuleBuilder, Type, Value};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("double_it", vec![Type::I32], Some(Type::I32));
+//! let x = f.param(0);
+//! let y = f.add(Type::I32, x, x);
+//! f.ret(Some(y));
+//! f.finish();
+//! let module = mb.finish().expect("verifies");
+//! assert_eq!(module.functions.len(), 1);
+//! ```
+
+use crate::inst::{BinOp, CastOp, FBinOp, FUnOp, FcmpPred, IcmpPred, Inst, Op};
+use crate::module::{Block, Function, Global, Module};
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, GlobalId, StaticInstId, Value, ValueId};
+use crate::verify::{verify_module, VerifyError};
+use std::collections::HashMap;
+
+/// Builds a [`Module`], allocating module-unique static instruction ids.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+    next_sid: u32,
+}
+
+impl ModuleBuilder {
+    /// Start a new, empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+            next_sid: 0,
+        }
+    }
+
+    /// Add a global byte region.
+    pub fn global(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+        init: Vec<u8>,
+    ) -> GlobalId {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(init.len() as u64 <= size, "initializer larger than global");
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.into(),
+            size,
+            align,
+            init,
+        });
+        id
+    }
+
+    /// Convenience: a global initialized from `i32` values.
+    pub fn global_i32s(&mut self, name: impl Into<String>, data: &[i32]) -> GlobalId {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.global(name, size, 4, bytes)
+    }
+
+    /// Convenience: a global initialized from `f64` values.
+    pub fn global_f64s(&mut self, name: impl Into<String>, data: &[f64]) -> GlobalId {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.global(name, size, 8, bytes)
+    }
+
+    /// Convenience: a zero-initialized global of `size` bytes.
+    pub fn global_zeroed(&mut self, name: impl Into<String>, size: u64, align: u64) -> GlobalId {
+        self.global(name, size, align, Vec::new())
+    }
+
+    /// Declare a function signature without a body, so that it can be called
+    /// before (or while) it is defined — needed for recursion.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        param_tys: Vec<Type>,
+        ret_ty: Option<Type>,
+    ) -> FuncId {
+        let id = FuncId(self.module.functions.len() as u32);
+        self.module.functions.push(Function {
+            id,
+            name: name.into(),
+            n_params: param_tys.len() as u32,
+            ret_ty,
+            value_types: param_tys,
+            blocks: Vec::new(),
+        });
+        id
+    }
+
+    /// Begin defining the body of a previously declared function.
+    ///
+    /// # Panics
+    /// Panics if the function already has a body.
+    pub fn define(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            self.module.functions[id.index()].blocks.is_empty(),
+            "function {} already defined",
+            self.module.functions[id.index()].name
+        );
+        let entry = Block {
+            id: BlockId(0),
+            name: "entry".into(),
+            insts: Vec::new(),
+        };
+        self.module.functions[id.index()].blocks.push(entry);
+        FunctionBuilder {
+            mb: self,
+            func: id,
+            cur: BlockId(0),
+            def_sites: HashMap::new(),
+        }
+    }
+
+    /// Declare and immediately begin defining a function.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        param_tys: Vec<Type>,
+        ret_ty: Option<Type>,
+    ) -> FunctionBuilder<'_> {
+        let id = self.declare(name, param_tys, ret_ty);
+        self.define(id)
+    }
+
+    /// Finish the module, verifying it.
+    ///
+    /// # Errors
+    /// Returns the first structural or type error found by the verifier.
+    pub fn finish(mut self) -> Result<Module, VerifyError> {
+        self.module.n_static_insts = self.next_sid;
+        verify_module(&self.module)?;
+        Ok(self.module)
+    }
+
+    /// Finish without verification (for tests that need ill-formed IR).
+    pub fn finish_unverified(mut self) -> Module {
+        self.module.n_static_insts = self.next_sid;
+        self.module
+    }
+
+    fn alloc_sid(&mut self) -> StaticInstId {
+        let sid = StaticInstId(self.next_sid);
+        self.next_sid += 1;
+        sid
+    }
+}
+
+/// Appends instructions to one function.
+///
+/// Created by [`ModuleBuilder::function`] or [`ModuleBuilder::define`]; call
+/// [`FunctionBuilder::finish`] (or just drop it) when the body is complete.
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    func: FuncId,
+    cur: BlockId,
+    /// Where each register was defined (for phi patching).
+    def_sites: HashMap<ValueId, (BlockId, usize)>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn f(&mut self) -> &mut Function {
+        &mut self.mb.module.functions[self.func.index()]
+    }
+
+    /// The id of the function being built.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// The `i`-th parameter as an operand.
+    ///
+    /// # Panics
+    /// Panics if `i` is not a valid parameter index.
+    pub fn param(&mut self, i: u32) -> Value {
+        assert!(i < self.f().n_params, "parameter index out of range");
+        Value::Reg(ValueId(i))
+    }
+
+    /// Create (but do not switch to) a new basic block.
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        let f = self.f();
+        let id = BlockId(f.blocks.len() as u32);
+        f.blocks.push(Block {
+            id,
+            name: name.into(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Make subsequent instructions append to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!(bb.index() < self.f().blocks.len(), "unknown block {bb}");
+        self.cur = bb;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn fresh(&mut self, ty: Type) -> ValueId {
+        let f = self.f();
+        let id = ValueId(f.value_types.len() as u32);
+        f.value_types.push(ty);
+        id
+    }
+
+    fn push(&mut self, result: Option<ValueId>, op: Op) {
+        let sid = self.mb.alloc_sid();
+        let cur = self.cur;
+        let f = &mut self.mb.module.functions[self.func.index()];
+        let block = &mut f.blocks[cur.index()];
+        if let Some(r) = result {
+            self.def_sites.insert(r, (cur, block.insts.len()));
+        }
+        block.insts.push(Inst { sid, result, op });
+    }
+
+    fn emit(&mut self, ty: Type, op: Op) -> Value {
+        let r = self.fresh(ty);
+        self.push(Some(r), op);
+        Value::Reg(r)
+    }
+
+    // ----- integer arithmetic -----
+
+    /// Generic integer binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, a: Value, b: Value) -> Value {
+        self.emit(ty, Op::Bin { op, ty, a, b })
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Add, ty, a, b)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Sub, ty, a, b)
+    }
+    /// `a * b`.
+    pub fn mul(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Mul, ty, a, b)
+    }
+    /// Signed `a / b`.
+    pub fn sdiv(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SDiv, ty, a, b)
+    }
+    /// Unsigned `a / b`.
+    pub fn udiv(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::UDiv, ty, a, b)
+    }
+    /// Signed `a % b`.
+    pub fn srem(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SRem, ty, a, b)
+    }
+    /// Unsigned `a % b`.
+    pub fn urem(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::URem, ty, a, b)
+    }
+    /// Bitwise `a & b`.
+    pub fn and(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::And, ty, a, b)
+    }
+    /// Bitwise `a | b`.
+    pub fn or(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Or, ty, a, b)
+    }
+    /// Bitwise `a ^ b`.
+    pub fn xor(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Xor, ty, a, b)
+    }
+    /// `a << b`.
+    pub fn shl(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Shl, ty, a, b)
+    }
+    /// Logical `a >> b`.
+    pub fn lshr(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::LShr, ty, a, b)
+    }
+    /// Arithmetic `a >> b`.
+    pub fn ashr(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.bin(BinOp::AShr, ty, a, b)
+    }
+
+    // ----- float arithmetic -----
+
+    /// Generic float binary operation.
+    pub fn fbin(&mut self, op: FBinOp, ty: Type, a: Value, b: Value) -> Value {
+        self.emit(ty, Op::FBin { op, ty, a, b })
+    }
+
+    /// `a + b` (float).
+    pub fn fadd(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FAdd, ty, a, b)
+    }
+    /// `a - b` (float).
+    pub fn fsub(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FSub, ty, a, b)
+    }
+    /// `a * b` (float).
+    pub fn fmul(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FMul, ty, a, b)
+    }
+    /// `a / b` (float).
+    pub fn fdiv(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FDiv, ty, a, b)
+    }
+    /// `min(a, b)` (float).
+    pub fn fmin(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FMin, ty, a, b)
+    }
+    /// `max(a, b)` (float).
+    pub fn fmax(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FMax, ty, a, b)
+    }
+    /// `pow(a, b)` (float).
+    pub fn fpow(&mut self, ty: Type, a: Value, b: Value) -> Value {
+        self.fbin(FBinOp::FPow, ty, a, b)
+    }
+
+    /// Generic float unary operation.
+    pub fn fun(&mut self, op: FUnOp, ty: Type, a: Value) -> Value {
+        self.emit(ty, Op::FUn { op, ty, a })
+    }
+
+    /// `-a` (float).
+    pub fn fneg(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::FNeg, ty, a)
+    }
+    /// `sqrt(a)`.
+    pub fn sqrt(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Sqrt, ty, a)
+    }
+    /// `exp(a)`.
+    pub fn exp(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Exp, ty, a)
+    }
+    /// `log(a)`.
+    pub fn log(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Log, ty, a)
+    }
+    /// `fabs(a)`.
+    pub fn fabs(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Fabs, ty, a)
+    }
+    /// `floor(a)`.
+    pub fn floor(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Floor, ty, a)
+    }
+    /// `round(a)`.
+    pub fn round(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Round, ty, a)
+    }
+    /// `sin(a)`.
+    pub fn sin(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Sin, ty, a)
+    }
+    /// `cos(a)`.
+    pub fn cos(&mut self, ty: Type, a: Value) -> Value {
+        self.fun(FUnOp::Cos, ty, a)
+    }
+
+    // ----- comparisons / select / phi -----
+
+    /// Integer comparison at type `ty`, yielding an `i1`.
+    pub fn icmp(&mut self, pred: IcmpPred, ty: Type, a: Value, b: Value) -> Value {
+        self.emit(Type::I1, Op::Icmp { pred, ty, a, b })
+    }
+
+    /// Float comparison at type `ty`, yielding an `i1`.
+    pub fn fcmp(&mut self, pred: FcmpPred, ty: Type, a: Value, b: Value) -> Value {
+        self.emit(Type::I1, Op::Fcmp { pred, ty, a, b })
+    }
+
+    /// `cond ? a : b`.
+    pub fn select(&mut self, ty: Type, cond: Value, a: Value, b: Value) -> Value {
+        self.emit(ty, Op::Select { ty, cond, a, b })
+    }
+
+    /// A phi node with the given incomings. More incomings can be attached
+    /// later with [`FunctionBuilder::add_incoming`].
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>) -> Value {
+        self.emit(ty, Op::Phi { ty, incomings })
+    }
+
+    /// Attach another incoming edge to a previously created phi.
+    ///
+    /// # Panics
+    /// Panics if `phi` was not produced by [`FunctionBuilder::phi`].
+    pub fn add_incoming(&mut self, phi: Value, bb: BlockId, v: Value) {
+        let reg = phi.as_reg().expect("add_incoming on non-register");
+        let (block, idx) = *self.def_sites.get(&reg).expect("unknown phi register");
+        let f = self.f();
+        match &mut f.blocks[block.index()].insts[idx].op {
+            Op::Phi { incomings, .. } => incomings.push((bb, v)),
+            other => panic!("add_incoming on non-phi instruction {other:?}"),
+        }
+    }
+
+    // ----- casts -----
+
+    /// Generic conversion.
+    pub fn cast(&mut self, op: CastOp, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.emit(
+            to_ty,
+            Op::Cast {
+                op,
+                from_ty,
+                to_ty,
+                a,
+            },
+        )
+    }
+
+    /// Truncate integer `a` from `from_ty` to `to_ty`.
+    pub fn trunc(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::Trunc, from_ty, to_ty, a)
+    }
+    /// Zero-extend integer `a`.
+    pub fn zext(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::ZExt, from_ty, to_ty, a)
+    }
+    /// Sign-extend integer `a`.
+    pub fn sext(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::SExt, from_ty, to_ty, a)
+    }
+    /// Signed integer → float.
+    pub fn sitofp(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::SiToFp, from_ty, to_ty, a)
+    }
+    /// Float → signed integer.
+    pub fn fptosi(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::FpToSi, from_ty, to_ty, a)
+    }
+    /// Reinterpret bits between same-width types.
+    pub fn bitcast(&mut self, from_ty: Type, to_ty: Type, a: Value) -> Value {
+        self.cast(CastOp::Bitcast, from_ty, to_ty, a)
+    }
+    /// f32 → f64.
+    pub fn fpext(&mut self, a: Value) -> Value {
+        self.cast(CastOp::FpExt, Type::F32, Type::F64, a)
+    }
+    /// f64 → f32.
+    pub fn fptrunc(&mut self, a: Value) -> Value {
+        self.cast(CastOp::FpTrunc, Type::F64, Type::F32, a)
+    }
+
+    // ----- memory -----
+
+    /// Load a `ty` from `addr`.
+    pub fn load(&mut self, ty: Type, addr: Value) -> Value {
+        self.emit(ty, Op::Load { ty, addr })
+    }
+
+    /// Store `val : ty` to `addr`.
+    pub fn store(&mut self, ty: Type, val: Value, addr: Value) {
+        self.push(None, Op::Store { ty, val, addr });
+    }
+
+    /// Reserve `size` bytes of stack space.
+    pub fn alloca(&mut self, size: u64, align: u64) -> Value {
+        self.emit(Type::Ptr, Op::Alloca { size, align })
+    }
+
+    /// `base + elem_size * index` — flattened `getelementptr`.
+    pub fn gep(&mut self, base: Value, index: Value, elem_size: u64) -> Value {
+        self.emit(
+            Type::Ptr,
+            Op::Gep {
+                base,
+                index,
+                elem_size,
+            },
+        )
+    }
+
+    /// Heap-allocate `size` bytes.
+    pub fn malloc(&mut self, size: Value) -> Value {
+        self.emit(Type::Ptr, Op::Malloc { size })
+    }
+
+    /// Release a heap allocation.
+    pub fn free(&mut self, ptr: Value) {
+        self.push(None, Op::Free { ptr });
+    }
+
+    // ----- calls / control / output -----
+
+    /// Call `callee`. Returns `Some` operand if the callee returns a value.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>) -> Option<Value> {
+        let ret_ty = self.mb.module.functions[callee.index()].ret_ty;
+        match ret_ty {
+            Some(ty) => {
+                let r = self.fresh(ty);
+                self.push(Some(r), Op::Call { callee, args });
+                Some(Value::Reg(r))
+            }
+            None => {
+                self.push(None, Op::Call { callee, args });
+                None
+            }
+        }
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(None, Op::Br { target });
+    }
+
+    /// Conditional branch on `cond : i1`.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.push(
+            None,
+            Op::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
+    }
+
+    /// Return (with a value iff the function has a return type).
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.push(None, Op::Ret { val });
+    }
+
+    /// Mark `val` as program output.
+    pub fn output(&mut self, ty: Type, val: Value) {
+        self.push(None, Op::Output { ty, val });
+    }
+
+    /// Terminate the program signalling a detected fault (§V duplication
+    /// checks). This is a block terminator.
+    pub fn detect(&mut self) {
+        self.push(None, Op::Detect);
+    }
+
+    /// Terminate with a detected-fault outcome iff `cond` is true; falls
+    /// through otherwise (not a terminator).
+    pub fn detect_if(&mut self, cond: Value) {
+        self.push(None, Op::DetectIf { cond });
+    }
+
+    /// Complete the function body. Dropping the builder has the same effect;
+    /// this method exists to make completion explicit at call sites.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_branching_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("abs", vec![Type::I32], Some(Type::I32));
+        let x = f.param(0);
+        let neg = f.create_block("neg");
+        let pos = f.create_block("pos");
+        let is_neg = f.icmp(IcmpPred::Slt, Type::I32, x, Value::i32(0));
+        f.cond_br(is_neg, neg, pos);
+        f.switch_to(neg);
+        let n = f.sub(Type::I32, Value::i32(0), x);
+        f.ret(Some(n));
+        f.switch_to(pos);
+        f.ret(Some(x));
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        assert_eq!(m.functions[0].blocks.len(), 3);
+        assert_eq!(m.static_inst_count(), 5);
+    }
+
+    #[test]
+    fn phi_patching_through_add_incoming() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("count", vec![Type::I32], Some(Type::I32));
+        let n = f.param(0);
+        let entry = f.current_block();
+        let loop_bb = f.create_block("loop");
+        let exit = f.create_block("exit");
+        f.br(loop_bb);
+        f.switch_to(loop_bb);
+        let i = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+        let next = f.add(Type::I32, i, Value::i32(1));
+        f.add_incoming(i, loop_bb, next);
+        let done = f.icmp(IcmpPred::Sge, Type::I32, next, n);
+        f.cond_br(done, exit, loop_bb);
+        f.switch_to(exit);
+        f.ret(Some(next));
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let f = &m.functions[0];
+        let phi = f.blocks[1].insts.first().expect("phi exists");
+        match &phi.op {
+            Op::Phi { incomings, .. } => assert_eq!(incomings.len(), 2),
+            _ => panic!("expected phi"),
+        }
+    }
+
+    #[test]
+    fn declare_then_define_supports_forward_calls() {
+        let mut mb = ModuleBuilder::new("t");
+        let helper = mb.declare("helper", vec![Type::I32], Some(Type::I32));
+        let mut main = mb.function("main", vec![], Some(Type::I32));
+        let r = main
+            .call(helper, vec![Value::i32(41)])
+            .expect("returns value");
+        main.ret(Some(r));
+        main.finish();
+        let mut h = mb.define(helper);
+        let x = h.param(0);
+        let y = h.add(Type::I32, x, Value::i32(1));
+        h.ret(Some(y));
+        h.finish();
+        let m = mb.finish().expect("verifies");
+        assert_eq!(m.functions.len(), 2);
+    }
+
+    #[test]
+    fn globals_helpers() {
+        let mut mb = ModuleBuilder::new("t");
+        let g1 = mb.global_i32s("ints", &[1, 2, 3]);
+        let g2 = mb.global_f64s("floats", &[1.0]);
+        let g3 = mb.global_zeroed("buf", 100, 8);
+        let mut f = mb.function("main", vec![], None);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        assert_eq!(m.global(g1).size, 12);
+        assert_eq!(m.global(g2).size, 8);
+        assert_eq!(m.global(g3).size, 100);
+        assert!(m.global(g3).init.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_define_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare("f", vec![], None);
+        {
+            let mut fb = mb.define(f);
+            fb.ret(None);
+        }
+        let _ = mb.define(f);
+    }
+}

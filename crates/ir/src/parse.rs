@@ -1,0 +1,745 @@
+//! Textual IR parser — the inverse of the `Display` implementations.
+//!
+//! The printed form of a [`Module`] round-trips: `parse_module(&m.to_string())`
+//! yields a module that prints identically and behaves identically under the
+//! interpreter. This makes dumped workloads diffable, storable, and editable
+//! by hand.
+//!
+//! ```
+//! use epvf_ir::{parse_module, ModuleBuilder, Type, Value};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("inc", vec![Type::I32], Some(Type::I32));
+//! let x = f.param(0);
+//! let y = f.add(Type::I32, x, Value::i32(1));
+//! f.ret(Some(y));
+//! f.finish();
+//! let module = mb.finish()?;
+//!
+//! let text = module.to_string();
+//! let reparsed = parse_module(&text)?;
+//! assert_eq!(reparsed.to_string(), text);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::inst::{BinOp, CastOp, FBinOp, FUnOp, FcmpPred, IcmpPred, Inst, Op};
+use crate::module::{Block, Function, Global, Module};
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, GlobalId, StaticInstId, Value, ValueId};
+use crate::verify::verify_module;
+use std::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct LineParser<'a> {
+    toks: Vec<&'a str>,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        // Split on whitespace and commas; keep (), [], quoted strings whole.
+        let mut toks = Vec::new();
+        let mut rest = text;
+        while let Some(start) = rest.find(|c: char| !c.is_whitespace() && c != ',') {
+            rest = &rest[start..];
+            if rest.starts_with('"') {
+                let end = rest[1..].find('"').map(|i| i + 2).unwrap_or(rest.len());
+                toks.push(&rest[..end]);
+                rest = &rest[end..];
+            } else {
+                let end = rest
+                    .find(|c: char| c.is_whitespace() || c == ',')
+                    .unwrap_or(rest.len());
+                toks.push(&rest[..end]);
+                rest = &rest[end..];
+            }
+        }
+        LineParser { toks, pos: 0, line }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.toks.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseError> {
+        let t = self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of line"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if t == what {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{what}`, found `{t}`")))
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let t = self.next()?;
+        type_of_str(t).ok_or_else(|| self.err(format!("unknown type `{t}`")))
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        let t = self.next()?;
+        t.parse::<u64>()
+            .map_err(|_| self.err(format!("expected a number, found `{t}`")))
+    }
+
+    fn parse_block_ref(&mut self) -> Result<BlockId, ParseError> {
+        let t = self.next()?;
+        let n = t
+            .strip_prefix("bb")
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| self.err(format!("expected a block label, found `{t}`")))?;
+        Ok(BlockId(n))
+    }
+
+    fn parse_reg(&mut self) -> Result<ValueId, ParseError> {
+        let t = self.next()?;
+        let n = t
+            .strip_prefix('%')
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(|| self.err(format!("expected a register, found `{t}`")))?;
+        Ok(ValueId(n))
+    }
+
+    /// An operand: `%N`, `@gN`, or `<ty> <literal>`.
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        let t = self.next()?;
+        if let Some(n) = t.strip_prefix('%') {
+            let n = n
+                .parse::<u32>()
+                .map_err(|_| self.err(format!("bad register `{t}`")))?;
+            return Ok(Value::Reg(ValueId(n)));
+        }
+        if let Some(n) = t.strip_prefix("@g") {
+            let n = n
+                .parse::<u32>()
+                .map_err(|_| self.err(format!("bad global `{t}`")))?;
+            return Ok(Value::Global(GlobalId(n)));
+        }
+        let ty =
+            type_of_str(t).ok_or_else(|| self.err(format!("expected an operand, found `{t}`")))?;
+        let lit = self.next()?;
+        if ty.is_float() {
+            let v: f64 = lit
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal `{lit}`")))?;
+            Ok(if ty == Type::F32 {
+                Value::f32(v as f32)
+            } else {
+                Value::f64(v)
+            })
+        } else {
+            let bits = if let Some(hex) = lit.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+                    .map_err(|_| self.err(format!("bad hex literal `{lit}`")))?
+            } else if let Ok(sv) = lit.parse::<i64>() {
+                sv as u64
+            } else {
+                return Err(self.err(format!("bad integer literal `{lit}`")));
+            };
+            Ok(Value::const_int(ty, bits))
+        }
+    }
+}
+
+fn type_of_str(t: &str) -> Option<Type> {
+    Some(match t {
+        "i1" => Type::I1,
+        "i8" => Type::I8,
+        "i16" => Type::I16,
+        "i32" => Type::I32,
+        "i64" => Type::I64,
+        "f32" => Type::F32,
+        "f64" => Type::F64,
+        "ptr" => Type::Ptr,
+        _ => return None,
+    })
+}
+
+fn bin_op(t: &str) -> Option<BinOp> {
+    Some(match t {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "udiv" => BinOp::UDiv,
+        "sdiv" => BinOp::SDiv,
+        "urem" => BinOp::URem,
+        "srem" => BinOp::SRem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "lshr" => BinOp::LShr,
+        "ashr" => BinOp::AShr,
+        _ => return None,
+    })
+}
+
+fn fbin_op(t: &str) -> Option<FBinOp> {
+    Some(match t {
+        "fadd" => FBinOp::FAdd,
+        "fsub" => FBinOp::FSub,
+        "fmul" => FBinOp::FMul,
+        "fdiv" => FBinOp::FDiv,
+        "fpow" => FBinOp::FPow,
+        "fmin" => FBinOp::FMin,
+        "fmax" => FBinOp::FMax,
+        _ => return None,
+    })
+}
+
+fn fun_op(t: &str) -> Option<FUnOp> {
+    Some(match t {
+        "fneg" => FUnOp::FNeg,
+        "sqrt" => FUnOp::Sqrt,
+        "exp" => FUnOp::Exp,
+        "log" => FUnOp::Log,
+        "fabs" => FUnOp::Fabs,
+        "floor" => FUnOp::Floor,
+        "round" => FUnOp::Round,
+        "sin" => FUnOp::Sin,
+        "cos" => FUnOp::Cos,
+        _ => return None,
+    })
+}
+
+fn cast_op(t: &str) -> Option<CastOp> {
+    Some(match t {
+        "trunc" => CastOp::Trunc,
+        "zext" => CastOp::ZExt,
+        "sext" => CastOp::SExt,
+        "fptosi" => CastOp::FpToSi,
+        "sitofp" => CastOp::SiToFp,
+        "uitofp" => CastOp::UiToFp,
+        "bitcast" => CastOp::Bitcast,
+        "ptrtoint" => CastOp::PtrToInt,
+        "inttoptr" => CastOp::IntToPtr,
+        "fpext" => CastOp::FpExt,
+        "fptrunc" => CastOp::FpTrunc,
+        _ => return None,
+    })
+}
+
+fn icmp_pred(t: &str) -> Option<IcmpPred> {
+    Some(match t {
+        "eq" => IcmpPred::Eq,
+        "ne" => IcmpPred::Ne,
+        "ult" => IcmpPred::Ult,
+        "ule" => IcmpPred::Ule,
+        "ugt" => IcmpPred::Ugt,
+        "uge" => IcmpPred::Uge,
+        "slt" => IcmpPred::Slt,
+        "sle" => IcmpPred::Sle,
+        "sgt" => IcmpPred::Sgt,
+        "sge" => IcmpPred::Sge,
+        _ => return None,
+    })
+}
+
+fn fcmp_pred(t: &str) -> Option<FcmpPred> {
+    Some(match t {
+        "oeq" => FcmpPred::Oeq,
+        "one" => FcmpPred::One,
+        "olt" => FcmpPred::Olt,
+        "ole" => FcmpPred::Ole,
+        "ogt" => FcmpPred::Ogt,
+        "oge" => FcmpPred::Oge,
+        _ => return None,
+    })
+}
+
+/// Signature collected in the pre-scan pass.
+struct Sig {
+    name: String,
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+fn parse_signature(line: &str, lineno: usize) -> Result<Sig, ParseError> {
+    // define RET @NAME(TY %0, TY %1) {
+    let err = |m: &str| ParseError {
+        line: lineno,
+        message: m.to_string(),
+    };
+    let body = line
+        .trim()
+        .strip_prefix("define ")
+        .ok_or_else(|| err("expected `define`"))?
+        .strip_suffix('{')
+        .ok_or_else(|| err("expected trailing `{`"))?
+        .trim();
+    let (ret_str, rest) = body
+        .split_once(' ')
+        .ok_or_else(|| err("malformed signature"))?;
+    let ret = if ret_str == "void" {
+        None
+    } else {
+        Some(type_of_str(ret_str).ok_or_else(|| err("unknown return type"))?)
+    };
+    let rest = rest.trim();
+    let open = rest.find('(').ok_or_else(|| err("expected `(`"))?;
+    let close = rest.rfind(')').ok_or_else(|| err("expected `)`"))?;
+    let name = rest[..open]
+        .strip_prefix('@')
+        .ok_or_else(|| err("expected `@name`"))?
+        .to_string();
+    let mut params = Vec::new();
+    let inner = &rest[open + 1..close];
+    if !inner.trim().is_empty() {
+        for piece in inner.split(',') {
+            let mut it = piece.split_whitespace();
+            let ty = it
+                .next()
+                .and_then(type_of_str)
+                .ok_or_else(|| err("bad parameter type"))?;
+            params.push(ty);
+        }
+    }
+    Ok(Sig { name, params, ret })
+}
+
+/// Parse the textual form produced by [`Module`]'s `Display`.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending line on malformed input, and
+/// wraps verifier failures (`line` 0) for structurally invalid programs.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut module = Module::new("parsed");
+    let mut next_sid = 0u32;
+
+    // Pre-scan: module name, globals, function signatures.
+    let mut sigs: Vec<Sig> = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if let Some(name) = line.strip_prefix("; module ") {
+            module.name = name.to_string();
+        } else if line.starts_with("define ") {
+            sigs.push(parse_signature(line, i + 1)?);
+        } else if line.starts_with("@g") {
+            module.globals.push(parse_global(line, i + 1)?);
+        }
+    }
+    for (idx, sig) in sigs.iter().enumerate() {
+        module.functions.push(Function {
+            id: FuncId(idx as u32),
+            name: sig.name.clone(),
+            n_params: sig.params.len() as u32,
+            ret_ty: sig.ret,
+            value_types: sig.params.clone(),
+            blocks: Vec::new(),
+        });
+    }
+    let callee_ret = |id: FuncId| sigs.get(id.index()).and_then(|s| s.ret);
+
+    // Body pass.
+    let mut cur_func: Option<usize> = None;
+    let mut seen_funcs = 0usize;
+    let mut pending_defs: Vec<(ValueId, Type)> = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("; module") || line.starts_with("@g") {
+            continue;
+        }
+        if line.starts_with("define ") {
+            cur_func = Some(seen_funcs);
+            seen_funcs += 1;
+            pending_defs.clear();
+            continue;
+        }
+        if line == "}" {
+            if let Some(fi) = cur_func.take() {
+                finalize_registers(&mut module.functions[fi], &pending_defs, lineno)?;
+            }
+            continue;
+        }
+        let fi = cur_func.ok_or(ParseError {
+            line: lineno,
+            message: "instruction outside a function body".to_string(),
+        })?;
+        // Block label?  `bbN:  ; name`
+        if let Some((label, comment)) = split_label(line) {
+            let id = label
+                .strip_prefix("bb")
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or(ParseError {
+                    line: lineno,
+                    message: format!("bad block label `{label}`"),
+                })?;
+            let func = &mut module.functions[fi];
+            if id as usize != func.blocks.len() {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("blocks must appear in order; found {label}"),
+                });
+            }
+            func.blocks.push(Block {
+                id: BlockId(id),
+                name: comment.to_string(),
+                insts: Vec::new(),
+            });
+            continue;
+        }
+        // Instruction line.
+        let inst = parse_inst(line, lineno, &mut pending_defs, &mut next_sid, &callee_ret)?;
+        let func = &mut module.functions[fi];
+        let block = func.blocks.last_mut().ok_or(ParseError {
+            line: lineno,
+            message: "instruction before any block".into(),
+        })?;
+        block.insts.push(inst);
+    }
+
+    module.n_static_insts = next_sid;
+    verify_module(&module).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    Ok(module)
+}
+
+/// `bbN:  ; name` → `(bbN, name)`.
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let (head, tail) = line.split_once(':')?;
+    if !head.starts_with("bb") || head.contains(' ') {
+        return None;
+    }
+    let comment = tail.trim().strip_prefix(';').map(str::trim).unwrap_or("");
+    Some((head, comment))
+}
+
+fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
+    // @gN = global "NAME" [SIZE x i8], align A [, init "HEX"]
+    let mut p = LineParser::new(line, lineno);
+    let _ = p.next()?; // @gN
+    p.expect("=")?;
+    p.expect("global")?;
+    let name_tok = p.next()?;
+    let name = name_tok.trim_matches('"').to_string();
+    let bracket = p.next()?; // [SIZE
+    let size: u64 = bracket
+        .trim_start_matches('[')
+        .parse()
+        .map_err(|_| p.err("bad global size"))?;
+    p.expect("x")?;
+    let _ = p.next()?; // i8]
+    p.expect("align")?;
+    let align = p.parse_u64()?;
+    let mut init = Vec::new();
+    if let Some("init") = p.peek() {
+        let _ = p.next()?;
+        let hex = p.next()?.trim_matches('"');
+        if hex.len() % 2 != 0 {
+            return Err(p.err("odd-length init hex"));
+        }
+        for i in (0..hex.len()).step_by(2) {
+            let b =
+                u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| p.err("bad init hex digit"))?;
+            init.push(b);
+        }
+    }
+    Ok(Global {
+        name,
+        size,
+        align,
+        init,
+    })
+}
+
+/// Finalize a function's register table from its collected definitions:
+/// parameters occupy `0..n_params`; instruction results may appear in any
+/// textual order but must form a dense id range overall.
+fn finalize_registers(
+    func: &mut Function,
+    defs: &[(ValueId, Type)],
+    line: usize,
+) -> Result<(), ParseError> {
+    let n_params = func.n_params as usize;
+    let total = n_params + defs.len();
+    let mut table: Vec<Option<Type>> = vec![None; total];
+    for (i, ty) in func.value_types.iter().enumerate() {
+        table[i] = Some(*ty); // parameters
+    }
+    for (reg, ty) in defs {
+        let slot = table.get_mut(reg.index()).ok_or(ParseError {
+            line,
+            message: format!("register {reg} out of range (expected ids below %{total})"),
+        })?;
+        if slot.replace(*ty).is_some() {
+            return Err(ParseError {
+                line,
+                message: format!("register {reg} defined twice"),
+            });
+        }
+    }
+    func.value_types = table
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            t.ok_or(ParseError {
+                line,
+                message: format!("register %{i} is never defined"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(())
+}
+
+fn parse_inst(
+    line: &str,
+    lineno: usize,
+    defs: &mut Vec<(ValueId, Type)>,
+    next_sid: &mut u32,
+    callee_ret: &dyn Fn(FuncId) -> Option<Type>,
+) -> Result<Inst, ParseError> {
+    let mut p = LineParser::new(line, lineno);
+    let sid = StaticInstId(*next_sid);
+    *next_sid += 1;
+
+    // Optional `%N =` prefix.
+    let mut result: Option<ValueId> = None;
+    if p.peek().is_some_and(|t| t.starts_with('%')) {
+        result = Some(p.parse_reg()?);
+        p.expect("=")?;
+    }
+
+    let opcode = p.next()?;
+    let op: Op = if let Some(b) = bin_op(opcode) {
+        let ty = p.parse_type()?;
+        let a = p.parse_value()?;
+        let bb = p.parse_value()?;
+        Op::Bin {
+            op: b,
+            ty,
+            a,
+            b: bb,
+        }
+    } else if let Some(b) = fbin_op(opcode) {
+        let ty = p.parse_type()?;
+        let a = p.parse_value()?;
+        let bb = p.parse_value()?;
+        Op::FBin {
+            op: b,
+            ty,
+            a,
+            b: bb,
+        }
+    } else if let Some(u) = fun_op(opcode) {
+        let ty = p.parse_type()?;
+        let a = p.parse_value()?;
+        Op::FUn { op: u, ty, a }
+    } else if let Some(c) = cast_op(opcode) {
+        let from_ty = p.parse_type()?;
+        let a = p.parse_value()?;
+        p.expect("to")?;
+        let to_ty = p.parse_type()?;
+        Op::Cast {
+            op: c,
+            from_ty,
+            to_ty,
+            a,
+        }
+    } else {
+        match opcode {
+            "icmp" => {
+                let pred = icmp_pred(p.next()?).ok_or_else(|| p.err("bad icmp predicate"))?;
+                let ty = p.parse_type()?;
+                let a = p.parse_value()?;
+                let b = p.parse_value()?;
+                Op::Icmp { pred, ty, a, b }
+            }
+            "fcmp" => {
+                let pred = fcmp_pred(p.next()?).ok_or_else(|| p.err("bad fcmp predicate"))?;
+                let ty = p.parse_type()?;
+                let a = p.parse_value()?;
+                let b = p.parse_value()?;
+                Op::Fcmp { pred, ty, a, b }
+            }
+            "select" => {
+                let ty = p.parse_type()?;
+                let cond = p.parse_value()?;
+                let a = p.parse_value()?;
+                let b = p.parse_value()?;
+                Op::Select { ty, cond, a, b }
+            }
+            "phi" => {
+                let ty = p.parse_type()?;
+                let mut incomings = Vec::new();
+                while !p.done() {
+                    let v_tok = p.next()?;
+                    let v_str = v_tok.trim_start_matches('[');
+                    // Reconstruct a tiny parser for the value token(s).
+                    let v = if v_str.starts_with('%') || v_str.starts_with("@g") {
+                        let mut vp = LineParser::new(v_str, lineno);
+                        vp.parse_value()?
+                    } else {
+                        // `[<ty> <lit>` came as two tokens.
+                        let lit = p.next()?;
+                        let joined = format!("{v_str} {lit}");
+                        let mut vp = LineParser::new(&joined, lineno);
+                        vp.parse_value()?
+                    };
+                    let bb_tok = p.next()?;
+                    let bb = bb_tok
+                        .trim_end_matches(']')
+                        .strip_prefix("bb")
+                        .and_then(|n| n.parse::<u32>().ok())
+                        .ok_or_else(|| p.err(format!("bad phi incoming block `{bb_tok}`")))?;
+                    incomings.push((BlockId(bb), v));
+                }
+                Op::Phi { ty, incomings }
+            }
+            "load" => {
+                let ty = p.parse_type()?;
+                p.expect("ptr")?;
+                let addr = p.parse_value()?;
+                Op::Load { ty, addr }
+            }
+            "store" => {
+                let ty = p.parse_type()?;
+                let val = p.parse_value()?;
+                p.expect("ptr")?;
+                let addr = p.parse_value()?;
+                Op::Store { ty, val, addr }
+            }
+            "alloca" => {
+                let size = p.parse_u64()?;
+                p.expect("align")?;
+                let align = p.parse_u64()?;
+                Op::Alloca { size, align }
+            }
+            "getelementptr" => {
+                let base = p.parse_value()?;
+                let index = p.parse_value()?;
+                p.expect("x")?;
+                let elem_size = p.parse_u64()?;
+                Op::Gep {
+                    base,
+                    index,
+                    elem_size,
+                }
+            }
+            "malloc" => Op::Malloc {
+                size: p.parse_value()?,
+            },
+            "free" => Op::Free {
+                ptr: p.parse_value()?,
+            },
+            "output" => {
+                let ty = p.parse_type()?;
+                let val = p.parse_value()?;
+                Op::Output { ty, val }
+            }
+            "call" => {
+                // call @fK(arg, arg, ...)
+                let rest = p.toks[p.pos..].join(" ");
+                let open = rest.find('(').ok_or_else(|| p.err("expected `(`"))?;
+                let close = rest.rfind(')').ok_or_else(|| p.err("expected `)`"))?;
+                let callee = rest[..open]
+                    .trim()
+                    .strip_prefix("@f")
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .map(FuncId)
+                    .ok_or_else(|| p.err("bad callee reference"))?;
+                let mut args = Vec::new();
+                let inner = rest[open + 1..close].trim();
+                if !inner.is_empty() {
+                    let mut ap = LineParser::new(inner, lineno);
+                    while !ap.done() {
+                        args.push(ap.parse_value()?);
+                    }
+                }
+                p.pos = p.toks.len();
+                Op::Call { callee, args }
+            }
+            "br" => {
+                if p.peek().is_some_and(|t| t.starts_with("bb")) {
+                    Op::Br {
+                        target: p.parse_block_ref()?,
+                    }
+                } else {
+                    let cond = p.parse_value()?;
+                    let then_bb = p.parse_block_ref()?;
+                    let else_bb = p.parse_block_ref()?;
+                    Op::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    }
+                }
+            }
+            "ret" => {
+                if p.peek() == Some("void") {
+                    let _ = p.next()?;
+                    Op::Ret { val: None }
+                } else {
+                    Op::Ret {
+                        val: Some(p.parse_value()?),
+                    }
+                }
+            }
+            "detect" => Op::Detect,
+            "detect.if" => Op::DetectIf {
+                cond: p.parse_value()?,
+            },
+            other => return Err(p.err(format!("unknown opcode `{other}`"))),
+        }
+    };
+
+    // Record the result register definition, computing its type.
+    match (result, op.result_type()) {
+        (Some(reg), Some(ty)) => defs.push((reg, ty)),
+        (Some(reg), None) => {
+            if let Op::Call { callee, .. } = &op {
+                let ty = callee_ret(*callee)
+                    .ok_or_else(|| p.err("call result bound but callee returns void"))?;
+                defs.push((reg, ty));
+            } else {
+                return Err(p.err("this opcode defines no result"));
+            }
+        }
+        (None, _) => {}
+    }
+    if !p.done() {
+        return Err(p.err(format!(
+            "trailing tokens starting at `{}`",
+            p.peek().unwrap_or("")
+        )));
+    }
+    Ok(Inst { sid, result, op })
+}

@@ -1,0 +1,753 @@
+//! Module verifier: structural, type, and SSA-dominance checks.
+//!
+//! The verifier is run by [`crate::ModuleBuilder::finish`], so analyses
+//! downstream (interpreter, DDG, ePVF) may assume well-formed input.
+
+use crate::inst::{CastOp, Inst, Op};
+use crate::module::{Function, Module};
+use crate::types::Type;
+use crate::value::{BlockId, StaticInstId, Value, ValueId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verification failure, carrying enough context to locate the offender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum VerifyError {
+    /// A function has no basic blocks.
+    EmptyFunction { func: String },
+    /// A basic block has no instructions.
+    EmptyBlock { func: String, block: BlockId },
+    /// A block's last instruction is not a terminator.
+    MissingTerminator { func: String, block: BlockId },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        func: String,
+        block: BlockId,
+        sid: StaticInstId,
+    },
+    /// A branch targets a nonexistent block.
+    BadBranchTarget {
+        func: String,
+        sid: StaticInstId,
+        target: BlockId,
+    },
+    /// An operand references a register that was never defined.
+    UndefinedValue {
+        func: String,
+        sid: StaticInstId,
+        value: ValueId,
+    },
+    /// A use is not dominated by its definition.
+    UseNotDominated {
+        func: String,
+        sid: StaticInstId,
+        value: ValueId,
+    },
+    /// Operand/instruction type mismatch.
+    TypeMismatch {
+        func: String,
+        sid: StaticInstId,
+        expected: Type,
+        found: Type,
+        what: &'static str,
+    },
+    /// A cast between incompatible widths/kinds.
+    BadCast {
+        func: String,
+        sid: StaticInstId,
+        op: CastOp,
+        from: Type,
+        to: Type,
+    },
+    /// Phi incomings do not exactly cover the block's predecessors.
+    BadPhi {
+        func: String,
+        sid: StaticInstId,
+        detail: String,
+    },
+    /// Phi appears after a non-phi instruction in its block.
+    PhiNotAtTop { func: String, sid: StaticInstId },
+    /// A call's arity or argument/return types don't match the callee.
+    BadCall {
+        func: String,
+        sid: StaticInstId,
+        detail: String,
+    },
+    /// `ret` type disagrees with the function signature.
+    BadRet { func: String, sid: StaticInstId },
+    /// A global reference is out of range.
+    BadGlobal { func: String, sid: StaticInstId },
+    /// `alloca` with a zero size or non-power-of-two alignment.
+    BadAlloca { func: String, sid: StaticInstId },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyFunction { func } => write!(f, "function @{func} has no blocks"),
+            VerifyError::EmptyBlock { func, block } => {
+                write!(f, "@{func}: {block} is empty")
+            }
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "@{func}: {block} does not end in a terminator")
+            }
+            VerifyError::EarlyTerminator { func, block, sid } => {
+                write!(f, "@{func}: terminator {sid} before end of {block}")
+            }
+            VerifyError::BadBranchTarget { func, sid, target } => {
+                write!(f, "@{func}: {sid} branches to nonexistent {target}")
+            }
+            VerifyError::UndefinedValue { func, sid, value } => {
+                write!(f, "@{func}: {sid} uses undefined register {value}")
+            }
+            VerifyError::UseNotDominated { func, sid, value } => {
+                write!(
+                    f,
+                    "@{func}: use of {value} at {sid} not dominated by its definition"
+                )
+            }
+            VerifyError::TypeMismatch {
+                func,
+                sid,
+                expected,
+                found,
+                what,
+            } => {
+                write!(
+                    f,
+                    "@{func}: {sid} {what}: expected {expected}, found {found}"
+                )
+            }
+            VerifyError::BadCast {
+                func,
+                sid,
+                op,
+                from,
+                to,
+            } => {
+                write!(f, "@{func}: {sid} invalid {op} from {from} to {to}")
+            }
+            VerifyError::BadPhi { func, sid, detail } => {
+                write!(f, "@{func}: {sid} malformed phi: {detail}")
+            }
+            VerifyError::PhiNotAtTop { func, sid } => {
+                write!(f, "@{func}: {sid} phi not at top of block")
+            }
+            VerifyError::BadCall { func, sid, detail } => {
+                write!(f, "@{func}: {sid} bad call: {detail}")
+            }
+            VerifyError::BadRet { func, sid } => {
+                write!(f, "@{func}: {sid} return type mismatch")
+            }
+            VerifyError::BadGlobal { func, sid } => {
+                write!(f, "@{func}: {sid} references nonexistent global")
+            }
+            VerifyError::BadAlloca { func, sid } => {
+                write!(f, "@{func}: {sid} alloca with zero size or bad alignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+/// Returns the first violation found, in function order.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.functions {
+        verify_function(module, func)?;
+    }
+    Ok(())
+}
+
+struct Ctx<'a> {
+    module: &'a Module,
+    func: &'a Function,
+    /// Register → (block, index-within-block) of its definition. Parameters
+    /// map to the entry block at index "before everything" (usize::MAX is
+    /// used as a sentinel meaning "defined on entry").
+    defs: HashMap<ValueId, (BlockId, usize)>,
+    preds: Vec<Vec<BlockId>>,
+    /// dom[b] = set of blocks dominating b (bitset as Vec<bool> rows).
+    dom: Vec<Vec<bool>>,
+}
+
+fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+    let fname = func.name.clone();
+    if func.blocks.is_empty() {
+        return Err(VerifyError::EmptyFunction { func: fname });
+    }
+
+    // Structural checks and def collection.
+    let mut defs: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
+    for p in 0..func.n_params {
+        defs.insert(ValueId(p), (BlockId(0), usize::MAX));
+    }
+    for block in &func.blocks {
+        if block.insts.is_empty() {
+            return Err(VerifyError::EmptyBlock {
+                func: fname.clone(),
+                block: block.id,
+            });
+        }
+        let last = block.insts.len() - 1;
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if inst.op.is_terminator() && idx != last {
+                return Err(VerifyError::EarlyTerminator {
+                    func: fname.clone(),
+                    block: block.id,
+                    sid: inst.sid,
+                });
+            }
+            if let Some(r) = inst.result {
+                defs.insert(r, (block.id, idx));
+            }
+            for target in branch_targets(&inst.op) {
+                if target.index() >= func.blocks.len() {
+                    return Err(VerifyError::BadBranchTarget {
+                        func: fname.clone(),
+                        sid: inst.sid,
+                        target,
+                    });
+                }
+            }
+        }
+        if !block.insts[last].op.is_terminator() {
+            return Err(VerifyError::MissingTerminator {
+                func: fname.clone(),
+                block: block.id,
+            });
+        }
+    }
+
+    // Predecessors.
+    let n = func.blocks.len();
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for block in &func.blocks {
+        for succ in block.successors() {
+            preds[succ.index()].push(block.id);
+        }
+    }
+
+    let dom = compute_dominators(func, &preds);
+    let ctx = Ctx {
+        module,
+        func,
+        defs,
+        preds,
+        dom,
+    };
+
+    for block in &func.blocks {
+        let mut seen_non_phi = false;
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if matches!(inst.op, Op::Phi { .. }) {
+                if seen_non_phi {
+                    return Err(VerifyError::PhiNotAtTop {
+                        func: fname.clone(),
+                        sid: inst.sid,
+                    });
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            check_inst(&ctx, block.id, idx, inst)?;
+        }
+    }
+    Ok(())
+}
+
+fn branch_targets(op: &Op) -> Vec<BlockId> {
+    match op {
+        Op::Br { target } => vec![*target],
+        Op::CondBr {
+            then_bb, else_bb, ..
+        } => vec![*then_bb, *else_bb],
+        Op::Phi { incomings, .. } => incomings.iter().map(|(b, _)| *b).collect(),
+        _ => vec![],
+    }
+}
+
+/// Iterative dataflow dominator computation (small CFGs; simplicity over the
+/// Lengauer–Tarjan construction).
+fn compute_dominators(func: &Function, preds: &[Vec<BlockId>]) -> Vec<Vec<bool>> {
+    let n = func.blocks.len();
+    let mut dom = vec![vec![true; n]; n];
+    dom[0] = vec![false; n];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut new: Vec<bool> = if preds[b].is_empty() {
+                // Unreachable block: dominated by everything by convention.
+                vec![true; n]
+            } else {
+                let mut acc = vec![true; n];
+                for p in &preds[b] {
+                    for (i, slot) in acc.iter_mut().enumerate() {
+                        *slot = *slot && dom[p.index()][i];
+                    }
+                }
+                acc
+            };
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Type of an operand, resolving registers through the function's table.
+fn operand_type(ctx: &Ctx<'_>, v: Value) -> Option<Type> {
+    match v {
+        Value::Reg(r) => ctx.func.value_types.get(r.index()).copied(),
+        Value::ConstInt { ty, .. } | Value::ConstFloat { ty, .. } => Some(ty),
+        Value::Global(_) => Some(Type::Ptr),
+    }
+}
+
+fn expect_type(
+    ctx: &Ctx<'_>,
+    sid: StaticInstId,
+    v: Value,
+    expected: Type,
+    what: &'static str,
+) -> Result<(), VerifyError> {
+    let found = operand_type(ctx, v).ok_or(VerifyError::UndefinedValue {
+        func: ctx.func.name.clone(),
+        sid,
+        value: v.as_reg().unwrap_or_default(),
+    })?;
+    if found != expected {
+        return Err(VerifyError::TypeMismatch {
+            func: ctx.func.name.clone(),
+            sid,
+            expected,
+            found,
+            what,
+        });
+    }
+    Ok(())
+}
+
+fn check_defined_and_dominated(
+    ctx: &Ctx<'_>,
+    at_block: BlockId,
+    at_idx: usize,
+    sid: StaticInstId,
+    v: Value,
+) -> Result<(), VerifyError> {
+    let Some(reg) = v.as_reg() else {
+        if let Value::Global(g) = v {
+            if g.index() >= ctx.module.globals.len() {
+                return Err(VerifyError::BadGlobal {
+                    func: ctx.func.name.clone(),
+                    sid,
+                });
+            }
+        }
+        return Ok(());
+    };
+    let Some(&(def_block, def_idx)) = ctx.defs.get(&reg) else {
+        return Err(VerifyError::UndefinedValue {
+            func: ctx.func.name.clone(),
+            sid,
+            value: reg,
+        });
+    };
+    let dominated = if def_block == at_block {
+        def_idx == usize::MAX || def_idx < at_idx
+    } else {
+        ctx.dom[at_block.index()][def_block.index()]
+    };
+    if !dominated {
+        return Err(VerifyError::UseNotDominated {
+            func: ctx.func.name.clone(),
+            sid,
+            value: reg,
+        });
+    }
+    Ok(())
+}
+
+fn check_inst(ctx: &Ctx<'_>, block: BlockId, idx: usize, inst: &Inst) -> Result<(), VerifyError> {
+    let fname = || ctx.func.name.clone();
+    let sid = inst.sid;
+
+    // Dominance for every operand. Phi operands are checked against the end
+    // of their incoming block instead.
+    if let Op::Phi { ty, incomings } = &inst.op {
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let preds: HashSet<BlockId> = ctx.preds[block.index()].iter().copied().collect();
+        for (in_bb, v) in incomings {
+            if !seen.insert(*in_bb) {
+                return Err(VerifyError::BadPhi {
+                    func: fname(),
+                    sid,
+                    detail: format!("duplicate incoming block {in_bb}"),
+                });
+            }
+            if !preds.contains(in_bb) {
+                return Err(VerifyError::BadPhi {
+                    func: fname(),
+                    sid,
+                    detail: format!("{in_bb} is not a predecessor"),
+                });
+            }
+            expect_type(ctx, sid, *v, *ty, "phi incoming")?;
+            // The value must dominate the *end* of the incoming block.
+            let end = ctx.func.blocks[in_bb.index()].insts.len();
+            check_defined_and_dominated(ctx, *in_bb, end, sid, *v)?;
+        }
+        if seen.len() != preds.len() {
+            return Err(VerifyError::BadPhi {
+                func: fname(),
+                sid,
+                detail: format!("covers {} of {} predecessors", seen.len(), preds.len()),
+            });
+        }
+        return Ok(());
+    }
+
+    for v in inst.op.operands() {
+        check_defined_and_dominated(ctx, block, idx, sid, v)?;
+    }
+
+    match &inst.op {
+        Op::Bin { ty, a, b, .. } => {
+            if !ty.is_int() {
+                return Err(VerifyError::TypeMismatch {
+                    func: fname(),
+                    sid,
+                    expected: Type::I64,
+                    found: *ty,
+                    what: "integer op on float type",
+                });
+            }
+            expect_type(ctx, sid, *a, *ty, "lhs")?;
+            expect_type(ctx, sid, *b, *ty, "rhs")?;
+        }
+        Op::FBin { ty, a, b, .. } => {
+            if !ty.is_float() {
+                return Err(VerifyError::TypeMismatch {
+                    func: fname(),
+                    sid,
+                    expected: Type::F64,
+                    found: *ty,
+                    what: "float op on integer type",
+                });
+            }
+            expect_type(ctx, sid, *a, *ty, "lhs")?;
+            expect_type(ctx, sid, *b, *ty, "rhs")?;
+        }
+        Op::FUn { ty, a, .. } => {
+            if !ty.is_float() {
+                return Err(VerifyError::TypeMismatch {
+                    func: fname(),
+                    sid,
+                    expected: Type::F64,
+                    found: *ty,
+                    what: "float unary on integer type",
+                });
+            }
+            expect_type(ctx, sid, *a, *ty, "operand")?;
+        }
+        Op::Icmp { ty, a, b, .. } => {
+            expect_type(ctx, sid, *a, *ty, "lhs")?;
+            expect_type(ctx, sid, *b, *ty, "rhs")?;
+        }
+        Op::Fcmp { ty, a, b, .. } => {
+            expect_type(ctx, sid, *a, *ty, "lhs")?;
+            expect_type(ctx, sid, *b, *ty, "rhs")?;
+        }
+        Op::Cast {
+            op,
+            from_ty,
+            to_ty,
+            a,
+        } => {
+            expect_type(ctx, sid, *a, *from_ty, "cast operand")?;
+            let ok = match op {
+                CastOp::Trunc => {
+                    from_ty.is_int() && to_ty.is_int() && to_ty.bits() < from_ty.bits()
+                }
+                CastOp::ZExt | CastOp::SExt => {
+                    from_ty.is_int() && to_ty.is_int() && to_ty.bits() > from_ty.bits()
+                }
+                CastOp::FpToSi => from_ty.is_float() && to_ty.is_int(),
+                CastOp::SiToFp | CastOp::UiToFp => from_ty.is_int() && to_ty.is_float(),
+                CastOp::Bitcast => from_ty.bits() == to_ty.bits(),
+                CastOp::PtrToInt => from_ty.is_ptr() && to_ty.is_int() && !to_ty.is_ptr(),
+                CastOp::IntToPtr => from_ty.is_int() && to_ty.is_ptr(),
+                CastOp::FpExt => *from_ty == Type::F32 && *to_ty == Type::F64,
+                CastOp::FpTrunc => *from_ty == Type::F64 && *to_ty == Type::F32,
+            };
+            if !ok {
+                return Err(VerifyError::BadCast {
+                    func: fname(),
+                    sid,
+                    op: *op,
+                    from: *from_ty,
+                    to: *to_ty,
+                });
+            }
+        }
+        Op::Select { ty, cond, a, b } => {
+            expect_type(ctx, sid, *cond, Type::I1, "select cond")?;
+            expect_type(ctx, sid, *a, *ty, "select lhs")?;
+            expect_type(ctx, sid, *b, *ty, "select rhs")?;
+        }
+        Op::Load { addr, .. } => expect_type(ctx, sid, *addr, Type::Ptr, "load address")?,
+        Op::Store { ty, val, addr } => {
+            expect_type(ctx, sid, *val, *ty, "stored value")?;
+            expect_type(ctx, sid, *addr, Type::Ptr, "store address")?;
+        }
+        Op::Alloca { size, align } => {
+            if *size == 0 || !align.is_power_of_two() {
+                return Err(VerifyError::BadAlloca { func: fname(), sid });
+            }
+        }
+        Op::Gep { base, index, .. } => {
+            expect_type(ctx, sid, *base, Type::Ptr, "gep base")?;
+            let ity = operand_type(ctx, *index).ok_or(VerifyError::UndefinedValue {
+                func: fname(),
+                sid,
+                value: index.as_reg().unwrap_or_default(),
+            })?;
+            if !ity.is_int() {
+                return Err(VerifyError::TypeMismatch {
+                    func: fname(),
+                    sid,
+                    expected: Type::I64,
+                    found: ity,
+                    what: "gep index",
+                });
+            }
+        }
+        Op::Call { callee, args } => {
+            let Some(cf) = ctx.module.functions.get(callee.index()) else {
+                return Err(VerifyError::BadCall {
+                    func: fname(),
+                    sid,
+                    detail: format!("nonexistent callee {callee}"),
+                });
+            };
+            if args.len() != cf.n_params as usize {
+                return Err(VerifyError::BadCall {
+                    func: fname(),
+                    sid,
+                    detail: format!("arity {} vs {}", args.len(), cf.n_params),
+                });
+            }
+            for (i, arg) in args.iter().enumerate() {
+                expect_type(ctx, sid, *arg, cf.value_types[i], "call argument")?;
+            }
+            match (inst.result, cf.ret_ty) {
+                (Some(r), Some(rt)) => {
+                    if ctx.func.value_types[r.index()] != rt {
+                        return Err(VerifyError::BadCall {
+                            func: fname(),
+                            sid,
+                            detail: "result type mismatch".into(),
+                        });
+                    }
+                }
+                (None, _) => {}
+                (Some(_), None) => {
+                    return Err(VerifyError::BadCall {
+                        func: fname(),
+                        sid,
+                        detail: "binds result of void callee".into(),
+                    });
+                }
+            }
+        }
+        Op::CondBr { cond, .. } => expect_type(ctx, sid, *cond, Type::I1, "branch cond")?,
+        Op::Ret { val } => match (val, ctx.func.ret_ty) {
+            (Some(v), Some(rt)) => expect_type(ctx, sid, *v, rt, "return value")?,
+            (None, None) => {}
+            _ => return Err(VerifyError::BadRet { func: fname(), sid }),
+        },
+        Op::Malloc { size } => expect_type(ctx, sid, *size, Type::I64, "malloc size")?,
+        Op::Free { ptr } => expect_type(ctx, sid, *ptr, Type::Ptr, "freed pointer")?,
+        Op::Output { ty, val } => expect_type(ctx, sid, *val, *ty, "output value")?,
+        Op::DetectIf { cond } => expect_type(ctx, sid, *cond, Type::I1, "detect cond")?,
+        Op::Br { .. } | Op::Phi { .. } | Op::Detect => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("f", vec![Type::I32], Some(Type::I32));
+        let p = f.param(0);
+        // i64 add fed an i32 operand
+        let bad = f.add(Type::I64, p, Value::i64(1));
+        let t = f.trunc(Type::I64, Type::I32, bad);
+        f.ret(Some(t));
+        f.finish();
+        let err = mb.finish().expect_err("must fail");
+        assert!(matches!(err, VerifyError::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("f", vec![], Some(Type::I32));
+        let _ = f.add(Type::I32, Value::i32(1), Value::i32(2));
+        f.finish();
+        let err = mb.finish().expect_err("must fail");
+        assert!(
+            matches!(err, VerifyError::MissingTerminator { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_cast() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("f", vec![Type::I32], Some(Type::I32));
+        let p = f.param(0);
+        // zext to a *narrower* type
+        let bad = f.zext(Type::I32, Type::I8, p);
+        let w = f.zext(Type::I8, Type::I32, bad);
+        f.ret(Some(w));
+        f.finish();
+        let err = mb.finish().expect_err("must fail");
+        assert!(matches!(err, VerifyError::BadCast { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_use_not_dominating() {
+        use crate::inst::{BinOp, Inst, Op};
+        // Hand-assemble: entry branches to bb1 or bb2; bb1 defines %1;
+        // bb2 uses %1. Verifier must reject.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("f", vec![Type::I1], Some(Type::I32));
+        let c = f.param(0);
+        let bb1 = f.create_block("a");
+        let bb2 = f.create_block("b");
+        f.cond_br(c, bb1, bb2);
+        f.switch_to(bb1);
+        let x = f.add(Type::I32, Value::i32(1), Value::i32(2));
+        f.ret(Some(x));
+        f.switch_to(bb2);
+        f.finish();
+        // Manually splice in a use of x (ValueId from bb1) inside bb2.
+        let mut m = mb.finish_unverified();
+        let xreg = x.as_reg().expect("register");
+        let func = &mut m.functions[0];
+        let vid = ValueId(func.value_types.len() as u32);
+        func.value_types.push(Type::I32);
+        func.blocks[2].insts.push(Inst {
+            sid: StaticInstId(900),
+            result: Some(vid),
+            op: Op::Bin {
+                op: BinOp::Add,
+                ty: Type::I32,
+                a: Value::Reg(xreg),
+                b: Value::i32(0),
+            },
+        });
+        func.blocks[2].insts.push(Inst {
+            sid: StaticInstId(901),
+            result: None,
+            op: Op::Ret {
+                val: Some(Value::Reg(vid)),
+            },
+        });
+        let err = verify_module(&m).expect_err("must fail");
+        assert!(matches!(err, VerifyError::UseNotDominated { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_incomplete_phi() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("f", vec![Type::I1], Some(Type::I32));
+        let c = f.param(0);
+        let entry = f.current_block();
+        let bb1 = f.create_block("a");
+        let merge = f.create_block("m");
+        f.cond_br(c, bb1, merge);
+        f.switch_to(bb1);
+        f.br(merge);
+        f.switch_to(merge);
+        // Only one incoming for two predecessors.
+        let p = f.phi(Type::I32, vec![(entry, Value::i32(1))]);
+        f.ret(Some(p));
+        f.finish();
+        let err = mb.finish().expect_err("must fail");
+        assert!(matches!(err, VerifyError::BadPhi { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("callee", vec![Type::I32, Type::I32], Some(Type::I32));
+        let mut f = mb.function("f", vec![], Some(Type::I32));
+        // Build the call by hand with wrong arity (builder's `call` would
+        // not stop us because arity is checked at verify time).
+        let r = f.call(callee, vec![Value::i32(1)]).expect("value");
+        f.ret(Some(r));
+        f.finish();
+        let mut c = mb.define(callee);
+        let a = c.param(0);
+        c.ret(Some(a));
+        c.finish();
+        let err = mb.finish().expect_err("must fail");
+        assert!(matches!(err, VerifyError::BadCall { .. }), "{err}");
+    }
+
+    #[test]
+    fn accepts_loop_with_phi() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("sum", vec![Type::I32], Some(Type::I32));
+        let n = f.param(0);
+        let entry = f.current_block();
+        let header = f.create_block("header");
+        let body = f.create_block("body");
+        let exit = f.create_block("exit");
+        f.br(header);
+        f.switch_to(header);
+        let i = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+        let acc = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+        let cont = f.icmp(crate::inst::IcmpPred::Slt, Type::I32, i, n);
+        f.cond_br(cont, body, exit);
+        f.switch_to(body);
+        let acc2 = f.add(Type::I32, acc, i);
+        let i2 = f.add(Type::I32, i, Value::i32(1));
+        f.add_incoming(i, body, i2);
+        f.add_incoming(acc, body, acc2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        f.finish();
+        assert!(mb.finish().is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::UndefinedValue {
+            func: "f".into(),
+            sid: StaticInstId(3),
+            value: ValueId(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("@f"));
+        assert!(s.contains("%9"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Fault-injection campaigns (paper §IV-A).
+//!
+//! One fault per run, ≥ thousands of runs per benchmark, outcomes classified
+//! against the golden run into the paper's taxonomy (Fig. 5 / Table II).
+//! Runs are embarrassingly parallel; specs are pre-drawn serially from the
+//! seed so results are independent of thread count.
+
+use crate::site::SiteTable;
+use crate::stats::ci95;
+use epvf_interp::{
+    CrashKind, ExecConfig, ExecError, InjectionSpec, Interpreter, Outcome, RunResult,
+};
+use epvf_ir::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classified result of one injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjOutcome {
+    /// Completed with golden-identical output.
+    Benign,
+    /// Completed with corrupted output — silent data corruption.
+    Sdc,
+    /// Hardware exception of the given class.
+    Crash(CrashKind),
+    /// Exceeded the dynamic-instruction budget.
+    Hang,
+    /// A §V duplication detector fired.
+    Detected,
+}
+
+impl InjOutcome {
+    /// Whether the run crashed (any exception class).
+    pub fn is_crash(self) -> bool {
+        matches!(self, InjOutcome::Crash(_))
+    }
+}
+
+/// How completed-run outputs are compared against the golden run when
+/// classifying SDC vs benign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OutputCompare {
+    /// Compare the printed form (floats at six significant digits) — what
+    /// the paper's toolchain effectively does: Rodinia prints results with
+    /// limited precision and LLFI diffs the output files.
+    #[default]
+    Printed,
+    /// Bit-exact comparison (strictest possible SDC definition).
+    Exact,
+}
+
+/// Campaign options.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Interpreter/memory configuration for the injected runs.
+    pub exec: ExecConfig,
+    /// Hang threshold as a multiple of the golden dynamic-instruction count.
+    pub hang_multiplier: u64,
+    /// Worker threads (1 = fully serial).
+    pub threads: usize,
+    /// SDC comparison semantics.
+    pub compare: OutputCompare,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            exec: ExecConfig::default(),
+            hang_multiplier: 10,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            compare: OutputCompare::default(),
+        }
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-run `(spec, outcome)` pairs, in draw order.
+    pub runs: Vec<(InjectionSpec, InjOutcome)>,
+}
+
+impl CampaignResult {
+    /// Total runs.
+    pub fn n(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Count of a specific outcome class.
+    pub fn count(&self, pred: impl Fn(InjOutcome) -> bool) -> usize {
+        self.runs.iter().filter(|(_, o)| pred(*o)).count()
+    }
+
+    /// Fraction of crashes (all classes).
+    pub fn crash_rate(&self) -> f64 {
+        self.count(InjOutcome::is_crash) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of SDCs.
+    pub fn sdc_rate(&self) -> f64 {
+        self.count(|o| o == InjOutcome::Sdc) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of benign runs.
+    pub fn benign_rate(&self) -> f64 {
+        self.count(|o| o == InjOutcome::Benign) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of hangs.
+    pub fn hang_rate(&self) -> f64 {
+        self.count(|o| o == InjOutcome::Hang) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of detected (duplication-protected) runs.
+    pub fn detected_rate(&self) -> f64 {
+        self.count(|o| o == InjOutcome::Detected) as f64 / self.n().max(1) as f64
+    }
+
+    /// Crash-class counts in the paper's Table II column order
+    /// `[SF, A, MMA, AE]`.
+    pub fn crash_kind_counts(&self) -> [usize; 4] {
+        let mut out = [0usize; 4];
+        for (_, o) in &self.runs {
+            if let InjOutcome::Crash(k) = o {
+                let i = CrashKind::all()
+                    .iter()
+                    .position(|x| x == k)
+                    .expect("all kinds covered");
+                out[i] += 1;
+            }
+        }
+        out
+    }
+
+    /// Relative crash-class frequencies (Table II rows); zeros if no crash.
+    pub fn crash_kind_fractions(&self) -> [f64; 4] {
+        let counts = self.crash_kind_counts();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        counts.map(|c| c as f64 / total as f64)
+    }
+
+    /// 95% confidence interval of the crash rate.
+    pub fn crash_rate_ci95(&self) -> (f64, f64) {
+        ci95(self.count(InjOutcome::is_crash), self.n())
+    }
+
+    /// 95% confidence interval of the SDC rate.
+    pub fn sdc_rate_ci95(&self) -> (f64, f64) {
+        ci95(self.count(|o| o == InjOutcome::Sdc), self.n())
+    }
+}
+
+/// Why a campaign could not be prepared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// Interpreter setup failed (unknown entry, arity mismatch).
+    Setup(ExecError),
+    /// The golden run did not complete — a campaign needs fault-free
+    /// reference outputs.
+    GoldenFailed(Outcome),
+    /// The golden trace contains no injectable register reads.
+    NoInjectableSites,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Setup(e) => write!(f, "campaign setup: {e}"),
+            CampaignError::GoldenFailed(o) => {
+                write!(f, "golden run must complete, but it ended with {o}")
+            }
+            CampaignError::NoInjectableSites => {
+                write!(f, "the trace contains no register reads to inject into")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Setup(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for CampaignError {
+    fn from(e: ExecError) -> Self {
+        CampaignError::Setup(e)
+    }
+}
+
+/// A prepared fault-injection campaign over one program + input.
+///
+/// # Examples
+///
+/// ```
+/// use epvf_llfi::{Campaign, CampaignConfig};
+/// use epvf_ir::{ModuleBuilder, Type, Value};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let mut f = mb.function("main", vec![], None);
+/// let p = f.malloc(Value::i64(32));
+/// let slot = f.gep(p, Value::i32(2), 8);
+/// f.store(Type::I64, Value::i64(9), slot);
+/// let v = f.load(Type::I64, slot);
+/// f.output(Type::I64, v);
+/// f.ret(None);
+/// f.finish();
+/// let module = mb.finish()?;
+///
+/// let campaign = Campaign::new(&module, "main", &[], CampaignConfig::default())?;
+/// let result = campaign.run(200, 42);
+/// assert_eq!(result.n(), 200);
+/// assert!(result.crash_rate() > 0.0, "address faults crash");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Campaign<'m> {
+    module: &'m Module,
+    entry: String,
+    args: Vec<u64>,
+    config: CampaignConfig,
+    golden: RunResult,
+    sites: SiteTable,
+}
+
+impl<'m> Campaign<'m> {
+    /// Execute the golden run (traced) and enumerate injection sites.
+    ///
+    /// # Errors
+    /// [`CampaignError::Setup`] on interpreter misuse,
+    /// [`CampaignError::GoldenFailed`] if the fault-free run does not
+    /// complete, and [`CampaignError::NoInjectableSites`] for traces with
+    /// no register reads.
+    pub fn new(
+        module: &'m Module,
+        entry: &str,
+        args: &[u64],
+        config: CampaignConfig,
+    ) -> Result<Self, CampaignError> {
+        let interp = Interpreter::new(module, config.exec);
+        let golden = interp.golden_run(entry, args)?;
+        if golden.outcome != Outcome::Completed {
+            return Err(CampaignError::GoldenFailed(golden.outcome));
+        }
+        let sites = SiteTable::from_trace(module, golden.trace.as_ref().expect("traced"));
+        if sites.is_empty() {
+            return Err(CampaignError::NoInjectableSites);
+        }
+        Ok(Campaign {
+            module,
+            entry: entry.to_string(),
+            args: args.to_vec(),
+            config,
+            golden,
+            sites,
+        })
+    }
+
+    /// The golden (fault-free) run, including its trace.
+    pub fn golden(&self) -> &RunResult {
+        &self.golden
+    }
+
+    /// The module under test.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The injectable-site table.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// Interpreter configuration for injected runs: trace off, hang budget
+    /// scaled from the golden run.
+    fn injected_exec(&self) -> ExecConfig {
+        ExecConfig {
+            record_trace: false,
+            max_dyn_insts: self
+                .golden
+                .dyn_insts
+                .saturating_mul(self.config.hang_multiplier)
+                .saturating_add(10_000),
+            ..self.config.exec
+        }
+    }
+
+    /// Execute one injected run and classify it.
+    pub fn run_spec(&self, spec: InjectionSpec) -> InjOutcome {
+        let interp = Interpreter::new(self.module, self.injected_exec());
+        let res = interp
+            .run_injected(&self.entry, &self.args, spec)
+            .expect("entry validated at construction");
+        self.classify(&res)
+    }
+
+    /// Classify a finished run against the golden output.
+    pub fn classify(&self, res: &RunResult) -> InjOutcome {
+        match res.outcome {
+            Outcome::Crashed { kind, .. } => InjOutcome::Crash(kind),
+            Outcome::Hang => InjOutcome::Hang,
+            Outcome::Detected => InjOutcome::Detected,
+            Outcome::Completed => {
+                let matches = match self.config.compare {
+                    OutputCompare::Printed => res.outputs_match_printed(&self.golden),
+                    OutputCompare::Exact => res.outputs == self.golden.outputs,
+                };
+                if matches {
+                    InjOutcome::Benign
+                } else {
+                    InjOutcome::Sdc
+                }
+            }
+        }
+    }
+
+    /// Run `n` injections with specs drawn from `seed`.
+    pub fn run(&self, n: usize, seed: u64) -> CampaignResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs: Vec<InjectionSpec> = (0..n).map(|_| self.sites.sample(&mut rng)).collect();
+        self.run_specs(&specs)
+    }
+
+    /// Run an explicit list of injection specs (used by the precision study
+    /// and the §V protection evaluation).
+    pub fn run_specs(&self, specs: &[InjectionSpec]) -> CampaignResult {
+        let threads = self.config.threads.max(1);
+        if threads == 1 || specs.len() < 32 {
+            let runs = specs.iter().map(|s| (*s, self.run_spec(*s))).collect();
+            return CampaignResult { runs };
+        }
+        let mut outcomes: Vec<Option<InjOutcome>> = vec![None; specs.len()];
+        let chunk = specs.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (specs_chunk, out_chunk) in specs.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (s, o) in specs_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *o = Some(self.run_spec(*s));
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        let runs = specs
+            .iter()
+            .zip(outcomes)
+            .map(|(s, o)| (*s, o.expect("all chunks processed")))
+            .collect();
+        CampaignResult { runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epvf_ir::{IcmpPred, ModuleBuilder, Type, Value};
+
+    /// Memory-heavy kernel so that crashes dominate, as in the paper.
+    fn kernel_module() -> Module {
+        let mut mb = ModuleBuilder::new("k");
+        let mut f = mb.function("main", vec![Type::I32], None);
+        let n = f.param(0);
+        let bytes = f.zext(Type::I32, Type::I64, n);
+        let size = f.mul(Type::I64, bytes, Value::i64(4));
+        let arr = f.malloc(size);
+        let entry = f.current_block();
+        let header = f.create_block("h");
+        let body = f.create_block("b");
+        let exit = f.create_block("e");
+        f.br(header);
+        f.switch_to(header);
+        let i = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+        let c = f.icmp(IcmpPred::Slt, Type::I32, i, n);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let v = f.mul(Type::I32, i, Value::i32(3));
+        let slot = f.gep(arr, i, 4);
+        f.store(Type::I32, v, slot);
+        let lv = f.load(Type::I32, slot);
+        f.output(Type::I32, lv);
+        let i2 = f.add(Type::I32, i, Value::i32(1));
+        f.add_incoming(i, body, i2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        mb.finish().expect("verifies")
+    }
+
+    #[test]
+    fn outcomes_cover_crash_sdc_benign() {
+        let m = kernel_module();
+        let campaign = Campaign::new(&m, "main", &[24], CampaignConfig::default()).expect("golden");
+        let res = campaign.run(400, 11);
+        assert_eq!(res.n(), 400);
+        assert!(res.crash_rate() > 0.2, "crash rate {}", res.crash_rate());
+        assert!(res.sdc_rate() > 0.0, "sdc rate {}", res.sdc_rate());
+        assert!(res.benign_rate() > 0.0, "benign rate {}", res.benign_rate());
+        let total = res.crash_rate()
+            + res.sdc_rate()
+            + res.benign_rate()
+            + res.hang_rate()
+            + res.detected_rate();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segfaults_dominate_crash_classes() {
+        let m = kernel_module();
+        let campaign = Campaign::new(&m, "main", &[24], CampaignConfig::default()).expect("golden");
+        let res = campaign.run(400, 5);
+        let [sf, _a, _mma, _ae] = res.crash_kind_fractions();
+        assert!(sf > 0.5, "SF fraction {sf} should dominate (paper: ≥96%)");
+    }
+
+    #[test]
+    fn campaign_deterministic_per_seed_and_thread_count() {
+        let m = kernel_module();
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let c1 = Campaign::new(&m, "main", &[16], cfg).expect("golden");
+        let serial = c1.run(100, 9);
+        let cfg4 = CampaignConfig {
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        let c4 = Campaign::new(&m, "main", &[16], cfg4).expect("golden");
+        let parallel = c4.run(100, 9);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn ci_is_sane() {
+        let m = kernel_module();
+        let campaign = Campaign::new(&m, "main", &[16], CampaignConfig::default()).expect("golden");
+        let res = campaign.run(200, 3);
+        let (lo, hi) = res.crash_rate_ci95();
+        let p = res.crash_rate();
+        assert!(lo <= p && p <= hi);
+        assert!(hi - lo < 0.2, "CI reasonably tight at n=200");
+    }
+}

@@ -1,0 +1,74 @@
+//! Small statistics helpers: Wilson 95% confidence intervals for the
+//! proportions the paper reports with error bars (Figs. 5, 8, 9, 13).
+
+/// Wilson score interval at 95% confidence for `successes / n`.
+///
+/// Returns `(0.0, 1.0)` when `n == 0`. Preferred over the normal
+/// approximation because campaign proportions can sit near 0 or 1.
+pub fn ci95(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_985; // Φ⁻¹(0.975)
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n_f) + z2 / (4.0 * n_f * n_f)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean (the aggregate the paper uses for Fig. 13 SDC rates).
+/// Zero and negative entries are clamped to a small epsilon.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = ci95(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.22);
+        // More samples → tighter interval.
+        let (lo2, hi2) = ci95(500, 1000);
+        assert!(hi2 - lo2 < hi - lo);
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_unit_interval() {
+        let (lo, hi) = ci95(0, 50);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15);
+        let (lo, hi) = ci95(50, 50);
+        assert!(lo > 0.85 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+        assert_eq!(ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!(geomean(&[0.0, 1.0]) < 1e-5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error-path coverage for campaign preparation.
+
+use epvf_ir::{ModuleBuilder, Type, Value};
+use epvf_llfi::{Campaign, CampaignConfig, CampaignError};
+
+#[test]
+fn golden_crash_is_reported_not_panicked() {
+    let mut mb = ModuleBuilder::new("t");
+    let mut f = mb.function("main", vec![], None);
+    let z = f.sdiv(Type::I32, Value::i32(1), Value::i32(0));
+    f.output(Type::I32, z);
+    f.ret(None);
+    f.finish();
+    let m = mb.finish().expect("verifies");
+    let err =
+        Campaign::new(&m, "main", &[], CampaignConfig::default()).expect_err("golden run crashes");
+    assert!(matches!(err, CampaignError::GoldenFailed(_)), "{err}");
+    assert!(err.to_string().contains("golden run"));
+}
+
+#[test]
+fn unknown_entry_is_a_setup_error() {
+    let mut mb = ModuleBuilder::new("t");
+    let mut f = mb.function("main", vec![], None);
+    f.ret(None);
+    f.finish();
+    let m = mb.finish().expect("verifies");
+    let err = Campaign::new(&m, "nope", &[], CampaignConfig::default()).expect_err("unknown entry");
+    assert!(matches!(err, CampaignError::Setup(_)), "{err}");
+}
+
+#[test]
+fn const_only_program_has_no_injectable_sites() {
+    let mut mb = ModuleBuilder::new("t");
+    let mut f = mb.function("main", vec![], None);
+    f.output(Type::I32, Value::i32(7));
+    f.ret(None);
+    f.finish();
+    let m = mb.finish().expect("verifies");
+    let err = Campaign::new(&m, "main", &[], CampaignConfig::default())
+        .expect_err("nothing to inject into");
+    assert_eq!(err, CampaignError::NoInjectableSites);
+}

@@ -1,0 +1,106 @@
+//! Campaign classification of the two rarer outcome classes: hangs
+//! (instruction-budget exhaustion after a corrupted loop bound) and
+//! detected faults (duplication checks firing mid-campaign).
+
+use epvf_interp::InjectionSpec;
+use epvf_ir::{IcmpPred, Module, ModuleBuilder, StaticInstId, Type, Value};
+use epvf_llfi::{Campaign, CampaignConfig, InjOutcome};
+use epvf_protect::duplicate_instructions;
+use std::collections::HashSet;
+
+/// A pure counting loop (no memory in the loop body): corrupting the bound
+/// comparison's operand extends the loop without crashing → hang.
+fn counting_loop() -> Module {
+    let mut mb = ModuleBuilder::new("t");
+    let mut f = mb.function("main", vec![], None);
+    let entry = f.current_block();
+    let header = f.create_block("h");
+    let body = f.create_block("b");
+    let exit = f.create_block("e");
+    f.br(header);
+    f.switch_to(header);
+    let i = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+    let acc = f.phi(Type::I64, vec![(entry, Value::i64(0))]);
+    let c = f.icmp(IcmpPred::Slt, Type::I64, i, Value::i64(200));
+    f.cond_br(c, body, exit);
+    f.switch_to(body);
+    let acc2 = f.add(Type::I64, acc, i);
+    let i2 = f.add(Type::I64, i, Value::i64(1));
+    f.add_incoming(i, body, i2);
+    f.add_incoming(acc, body, acc2);
+    f.br(header);
+    f.switch_to(exit);
+    f.output(Type::I64, acc);
+    f.ret(None);
+    f.finish();
+    mb.finish().expect("verifies")
+}
+
+#[test]
+fn corrupted_loop_bound_classifies_as_hang() {
+    let m = counting_loop();
+    let campaign = Campaign::new(&m, "main", &[], CampaignConfig::default()).expect("golden");
+    let golden = campaign.golden();
+    let trace = golden.trace.as_ref().expect("traced");
+    // Flip the sign bit of `i` as it is read by the loop-carried increment
+    // `i2 = i + 1`: the corrupted value persists through the phi, `i` is
+    // now hugely negative, and `i < 200` holds for ~2^63 iterations.
+    let inc_rec = trace
+        .iter()
+        .filter(|r| {
+            matches!(
+                m.find_inst(r.sid).map(|(_, _, i)| &i.op),
+                Some(epvf_ir::Op::Bin {
+                    op: epvf_ir::BinOp::Add,
+                    ..
+                })
+            ) && r.operands.get(1).and_then(|o| o.value.as_const_int()) == Some(1)
+        })
+        .nth(5)
+        .expect("loop ran");
+    let outcome = campaign.run_spec(InjectionSpec {
+        dyn_idx: inc_rec.idx,
+        operand_slot: 0,
+        bit: 63,
+    });
+    assert_eq!(outcome, InjOutcome::Hang);
+}
+
+#[test]
+fn campaign_counts_detected_outcomes_on_protected_modules() {
+    let m = counting_loop();
+    // Protect the accumulator add (every iteration) — faults in its slice
+    // now classify as Detected.
+    let add_sid = m.functions[0]
+        .insts()
+        .find(|i| i.op.mnemonic() == "add")
+        .map(|i| i.sid)
+        .expect("add exists");
+    let protect: HashSet<StaticInstId> = [add_sid].into_iter().collect();
+    let protected = duplicate_instructions(&m, &protect);
+    let campaign =
+        Campaign::new(&protected, "main", &[], CampaignConfig::default()).expect("golden");
+    let fi = campaign.run(600, 9);
+    assert!(
+        fi.detected_rate() > 0.0,
+        "some faults must hit the protected slice: {:?}",
+        fi.runs.iter().take(5).collect::<Vec<_>>()
+    );
+    let total =
+        fi.crash_rate() + fi.sdc_rate() + fi.benign_rate() + fi.hang_rate() + fi.detected_rate();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn hang_rate_appears_in_campaigns_over_pure_compute() {
+    let m = counting_loop();
+    let campaign = Campaign::new(&m, "main", &[], CampaignConfig::default()).expect("golden");
+    let fi = campaign.run(800, 21);
+    // Flips of the loop counter's sign-adjacent bits extend the loop; with
+    // 800 uniform samples at least one should exhaust the budget.
+    assert!(
+        fi.hang_rate() > 0.0,
+        "expected some hangs, got {:?}",
+        fi.hang_rate()
+    );
+}

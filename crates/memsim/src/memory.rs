@@ -1,0 +1,603 @@
+//! The simulated 64-bit process memory.
+//!
+//! [`SimMemory`] provides the substrate the paper's crash model reasons
+//! about: a paged, sparse address space carved into text/data/heap/stack
+//! segments, with the exact Linux fault-decision semantics the paper reverse
+//! engineered from the kernel (its Fig. 4):
+//!
+//! * an access inside a VMA is valid (*common case*);
+//! * an access below the stack VMA but at or above `SP − 65536 − 128`
+//!   *expands the stack* (up to the 8 MiB limit) instead of faulting
+//!   (*case I*);
+//! * anything else raises a segmentation fault (*case II*).
+
+use crate::fault::AccessError;
+use crate::vma::{MemoryMap, SegmentKind, Vma};
+use std::collections::{BTreeMap, HashMap};
+
+/// Simulated page size.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The stack-expansion window below SP that Linux still honours:
+/// 64 KiB + 128 B (paper §III-D, kernel `expand_stack` heuristic).
+pub const STACK_GUARD_WINDOW: u64 = 65536 + 128;
+
+/// Default RLIMIT_STACK-style stack size limit: 8 MiB.
+pub const DEFAULT_STACK_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// Default base of the text segment.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+/// Default size of the text segment.
+pub const TEXT_SIZE: u64 = 0x0010_0000;
+/// Default base of the data (globals) segment.
+pub const DATA_BASE: u64 = 0x0060_0000;
+/// Default base of the heap.
+pub const HEAP_BASE: u64 = 0x0200_0000;
+/// Default maximum heap span (brk can move up to `HEAP_BASE + HEAP_SPAN`).
+pub const HEAP_SPAN: u64 = 0x2000_0000; // 512 MiB
+/// Default top of the stack (exclusive).
+pub const STACK_TOP: u64 = 0x7FFF_FFFF_F000;
+
+/// How strictly memory accesses must be aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignmentPolicy {
+    /// Accesses of 4 or more bytes must be 4-byte aligned — reproduces the
+    /// paper's `MMA` crash class (Table I).
+    #[default]
+    FourByte,
+    /// No alignment faults (x86-style permissive scalar accesses).
+    None,
+}
+
+/// Configuration of the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Alignment fault policy.
+    pub alignment: AlignmentPolicy,
+    /// Stack size limit in bytes (Linux default: 8 MiB).
+    pub stack_limit: u64,
+    /// A constant added to the heap and stack bases — an ASLR-style slide.
+    /// Note that a pure slide translates accesses and boundaries together,
+    /// so fault decisions are invariant to it; see `heap_slack` for the
+    /// noise that actually perturbs accuracy.
+    pub layout_slide: u64,
+    /// Extra bytes the heap VMA extends past the last allocation —
+    /// modelling allocator over-reserve. Differing slack between the
+    /// profiled (golden) run and the injected runs reproduces the
+    /// environment non-determinism the paper blames for its
+    /// recall/precision gap (§IV-B): boundaries move relative to accesses.
+    pub heap_slack: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            alignment: AlignmentPolicy::FourByte,
+            stack_limit: DEFAULT_STACK_LIMIT,
+            layout_slide: 0,
+            heap_slack: 0,
+        }
+    }
+}
+
+/// The sparse, paged, segment-aware simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use epvf_memsim::{MemConfig, SimMemory};
+///
+/// let mut mem = SimMemory::new(MemConfig::default());
+/// let p = mem.malloc(64)?;
+/// let sp = mem.stack_top();
+/// mem.write(p, 4, 0xDEAD_BEEF, sp)?;
+/// assert_eq!(mem.read(p, 4, sp)?, 0xDEAD_BEEF);
+/// # Ok::<(), epvf_memsim::AccessError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    config: MemConfig,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    map: MemoryMap,
+    /// Current heap break (top of the heap VMA).
+    brk: u64,
+    /// Live heap allocations: base → size.
+    allocations: BTreeMap<u64, u64>,
+    /// Bump cursor for the next allocation.
+    heap_cursor: u64,
+    heap_max: u64,
+    stack_top: u64,
+    stack_lowest: u64,
+}
+
+impl SimMemory {
+    /// Create a fresh address space with empty heap and a one-page stack.
+    pub fn new(config: MemConfig) -> Self {
+        let slide = config.layout_slide & !(PAGE_SIZE - 1);
+        let heap_base = HEAP_BASE + slide;
+        let stack_top = STACK_TOP - slide;
+        let stack_lowest = stack_top - config.stack_limit;
+        let slack = config
+            .heap_slack
+            .next_multiple_of(PAGE_SIZE)
+            .min(HEAP_SPAN / 2);
+        let map = MemoryMap::new(vec![
+            Vma {
+                start: TEXT_BASE,
+                end: TEXT_BASE + TEXT_SIZE,
+                kind: SegmentKind::Text,
+            },
+            Vma {
+                start: DATA_BASE,
+                end: DATA_BASE,
+                kind: SegmentKind::Data,
+            },
+            Vma {
+                start: heap_base,
+                end: heap_base + slack,
+                kind: SegmentKind::Heap,
+            },
+            Vma {
+                start: stack_top - PAGE_SIZE,
+                end: stack_top,
+                kind: SegmentKind::Stack,
+            },
+        ]);
+        SimMemory {
+            config,
+            pages: HashMap::new(),
+            map,
+            brk: heap_base,
+            allocations: BTreeMap::new(),
+            heap_cursor: heap_base,
+            heap_max: heap_base + HEAP_SPAN,
+            stack_top,
+            stack_lowest,
+        }
+    }
+
+    /// The configuration this space was built with.
+    pub fn config(&self) -> MemConfig {
+        self.config
+    }
+
+    /// Initial stack pointer (the top of the stack).
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// The lowest address the stack may ever grow to (top − limit).
+    pub fn stack_lowest(&self) -> u64 {
+        self.stack_lowest
+    }
+
+    /// A point-in-time copy of the memory map — the simulated
+    /// `/proc/self/maps` probe of §III-D.
+    pub fn snapshot_map(&self) -> MemoryMap {
+        self.map.clone()
+    }
+
+    /// Borrow the live memory map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    // ----- segment management -----
+
+    /// Place a global of `size`/`align` in the data segment, returning its
+    /// base address. Called by the interpreter during module loading.
+    pub fn place_global(&mut self, size: u64, align: u64) -> u64 {
+        let data = self
+            .map
+            .locate_mut_kind(SegmentKind::Data)
+            .expect("data segment always exists");
+        let base = data.end.next_multiple_of(align.max(1));
+        data.end = base + size.max(1);
+        base
+    }
+
+    /// Allocate `size` bytes on the heap (paper workloads' `malloc`).
+    ///
+    /// # Errors
+    /// [`AccessError::OutOfMemory`] if the heap span is exhausted.
+    pub fn malloc(&mut self, size: u64) -> Result<u64, AccessError> {
+        let size = size.max(1);
+        let base = self.heap_cursor.next_multiple_of(16);
+        let end = base
+            .checked_add(size)
+            .ok_or(AccessError::OutOfMemory { requested: size })?;
+        if end > self.heap_max {
+            return Err(AccessError::OutOfMemory { requested: size });
+        }
+        self.heap_cursor = end;
+        if end > self.brk {
+            self.brk = end.next_multiple_of(PAGE_SIZE);
+            let slack = self
+                .config
+                .heap_slack
+                .next_multiple_of(PAGE_SIZE)
+                .min(HEAP_SPAN / 2);
+            let heap = self
+                .map
+                .locate_mut_kind(SegmentKind::Heap)
+                .expect("heap segment always exists");
+            heap.end = self.brk + slack;
+        }
+        self.allocations.insert(base, size);
+        Ok(base)
+    }
+
+    /// Release a heap allocation. As with a real `brk` heap, the segment is
+    /// not shrunk — freed space simply becomes unused (still-mapped) heap.
+    ///
+    /// # Errors
+    /// [`AccessError::InvalidFree`] if `ptr` is not a live allocation base.
+    pub fn free(&mut self, ptr: u64) -> Result<(), AccessError> {
+        self.allocations
+            .remove(&ptr)
+            .map(|_| ())
+            .ok_or(AccessError::InvalidFree { addr: ptr })
+    }
+
+    /// Number of live heap allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Legitimately extend the stack down to cover `sp` (frame push). This
+    /// is the orderly growth a real program gets from touching stack pages
+    /// in order; faulty wild accesses must instead pass [`Self::check_access`].
+    ///
+    /// # Errors
+    /// [`AccessError::StackOverflow`] if `sp` descends past the stack limit.
+    pub fn grow_stack_to(&mut self, sp: u64) -> Result<(), AccessError> {
+        if sp < self.stack_lowest {
+            return Err(AccessError::StackOverflow { sp });
+        }
+        let page = sp & !(PAGE_SIZE - 1);
+        let stack = self
+            .map
+            .locate_mut_kind(SegmentKind::Stack)
+            .expect("stack segment always exists");
+        if page < stack.start {
+            stack.start = page;
+        }
+        Ok(())
+    }
+
+    // ----- the Linux fault decision -----
+
+    /// Decide whether an access of `size` bytes at `addr` is legal given the
+    /// current stack pointer `sp`, expanding the stack when Linux would.
+    ///
+    /// This is the ground-truth implementation of the paper's Fig. 4 kernel
+    /// logic. The crash *model* (in `epvf-core`) predicts this decision from
+    /// trace snapshots.
+    ///
+    /// # Errors
+    /// [`AccessError::Misaligned`] or [`AccessError::Segfault`].
+    pub fn check_access(&mut self, addr: u64, size: u64, sp: u64) -> Result<(), AccessError> {
+        if let AlignmentPolicy::FourByte = self.config.alignment {
+            if size >= 4 && !addr.is_multiple_of(4) {
+                return Err(AccessError::Misaligned { addr });
+            }
+        }
+        let last = addr
+            .checked_add(size.saturating_sub(1))
+            .ok_or(AccessError::Segfault { addr })?;
+        self.check_byte(addr, sp)?;
+        if last & !(PAGE_SIZE - 1) != addr & !(PAGE_SIZE - 1) {
+            // The access straddles a page boundary; validate its last byte
+            // too (different VMA decisions are possible).
+            self.check_byte(last, sp)?;
+        }
+        Ok(())
+    }
+
+    fn check_byte(&mut self, addr: u64, sp: u64) -> Result<(), AccessError> {
+        if self.map.locate(addr).is_some() {
+            return Ok(()); // common case
+        }
+        // Not in any VMA. Linux: if this lies in the stack gap and within
+        // the guard window below SP (and above the rlimit), expand the
+        // stack (case I); otherwise SIGSEGV (case II).
+        let stack = self
+            .map
+            .find_kind(SegmentKind::Stack)
+            .expect("stack segment always exists");
+        let in_stack_gap = addr < stack.start && addr >= self.stack_lowest;
+        let within_window = addr >= sp.saturating_sub(STACK_GUARD_WINDOW);
+        if in_stack_gap && within_window {
+            let page = addr & !(PAGE_SIZE - 1);
+            let stack = self
+                .map
+                .locate_mut_kind(SegmentKind::Stack)
+                .expect("stack segment always exists");
+            stack.start = stack.start.min(page);
+            return Ok(());
+        }
+        Err(AccessError::Segfault { addr })
+    }
+
+    // ----- data access -----
+
+    /// Read `size ∈ {1,2,4,8}` bytes, little-endian, after validating the
+    /// access.
+    ///
+    /// # Errors
+    /// Propagates the fault from [`Self::check_access`].
+    pub fn read(&mut self, addr: u64, size: u64, sp: u64) -> Result<u64, AccessError> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        self.check_access(addr, size, sp)?;
+        let mut out = 0u64;
+        for i in 0..size {
+            out |= (self.peek_byte(addr + i) as u64) << (8 * i);
+        }
+        Ok(out)
+    }
+
+    /// Write `size ∈ {1,2,4,8}` bytes, little-endian, after validating the
+    /// access.
+    ///
+    /// # Errors
+    /// Propagates the fault from [`Self::check_access`].
+    pub fn write(&mut self, addr: u64, size: u64, value: u64, sp: u64) -> Result<(), AccessError> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        self.check_access(addr, size, sp)?;
+        for i in 0..size {
+            self.poke_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+
+    /// Copy raw bytes in without access checks (module loading only).
+    pub fn write_bytes_raw(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.poke_byte(addr + i as u64, *b);
+        }
+    }
+
+    /// Read raw bytes without access checks (result extraction only).
+    pub fn read_bytes_raw(&self, addr: u64, len: u64) -> Vec<u8> {
+        (0..len).map(|i| self.peek_byte(addr + i)).collect()
+    }
+
+    fn peek_byte(&self, addr: u64) -> u8 {
+        let page = addr & !(PAGE_SIZE - 1);
+        match self.pages.get(&page) {
+            Some(p) => p[(addr - page) as usize],
+            None => 0,
+        }
+    }
+
+    fn poke_byte(&mut self, addr: u64, v: u8) {
+        let page = addr & !(PAGE_SIZE - 1);
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        p[(addr - page) as usize] = v;
+    }
+
+    /// Number of materialized pages (memory footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        SimMemory::new(MemConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> SimMemory {
+        SimMemory::new(MemConfig::default())
+    }
+
+    #[test]
+    fn heap_round_trip_all_sizes() {
+        let mut m = mem();
+        let p = m.malloc(32).expect("alloc");
+        let sp = m.stack_top();
+        for (size, val) in [(1, 0xAB), (2, 0xBEEF), (4, 0xDEAD_BEEF), (8, u64::MAX - 5)] {
+            m.write(p, size, val, sp).expect("write");
+            assert_eq!(m.read(p, size, sp).expect("read"), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = mem();
+        let p = m.malloc(8).expect("alloc");
+        let sp = m.stack_top();
+        m.write(p, 4, 0x0403_0201, sp).expect("write");
+        assert_eq!(m.read(p, 1, sp).expect("read"), 0x01);
+        assert_eq!(m.read(p + 1, 1, sp).expect("read"), 0x02);
+        assert_eq!(m.read(p + 3, 1, sp).expect("read"), 0x04);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mut m = mem();
+        let p = m.malloc(4096).expect("alloc");
+        let sp = m.stack_top();
+        assert_eq!(m.read(p + 100, 8, sp).expect("read"), 0);
+    }
+
+    #[test]
+    fn access_in_gap_segfaults() {
+        let mut m = mem();
+        let sp = m.stack_top();
+        // Address in the unmapped gulf between heap and stack.
+        let wild = 0x4000_0000_0000;
+        let err = m.read(wild, 4, sp).expect_err("must fault");
+        assert_eq!(err, AccessError::Segfault { addr: wild });
+    }
+
+    #[test]
+    fn null_deref_segfaults() {
+        let mut m = mem();
+        let sp = m.stack_top();
+        assert!(matches!(
+            m.read(0, 4, sp),
+            Err(AccessError::Segfault { addr: 0 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_access_faults_under_fourbyte_policy() {
+        let mut m = mem();
+        let p = m.malloc(64).expect("alloc");
+        let sp = m.stack_top();
+        let err = m.read(p + 2, 4, sp).expect_err("must fault");
+        assert!(matches!(err, AccessError::Misaligned { .. }));
+        // 1- and 2-byte accesses are exempt.
+        assert!(m.read(p + 2, 2, sp).is_ok());
+        assert!(m.read(p + 3, 1, sp).is_ok());
+    }
+
+    #[test]
+    fn permissive_alignment_policy() {
+        let mut m = SimMemory::new(MemConfig {
+            alignment: AlignmentPolicy::None,
+            ..MemConfig::default()
+        });
+        let p = m.malloc(64).expect("alloc");
+        let sp = m.stack_top();
+        assert!(m.read(p + 2, 4, sp).is_ok());
+    }
+
+    #[test]
+    fn stack_expansion_within_guard_window() {
+        let mut m = mem();
+        let sp = m.stack_top() - 3 * PAGE_SIZE; // simulated deep-ish SP
+        m.grow_stack_to(sp).expect("legit growth");
+        // An address below the current stack VMA but within SP − 64KiB − 128B:
+        let probe = sp - STACK_GUARD_WINDOW + 8;
+        assert!(m.write(probe, 4, 1, sp).is_ok(), "case I must expand stack");
+        // The map must now cover it.
+        assert!(m.map().locate(probe).is_some());
+    }
+
+    #[test]
+    fn stack_access_below_guard_window_faults() {
+        let mut m = mem();
+        let sp = m.stack_top() - PAGE_SIZE;
+        let probe = sp - STACK_GUARD_WINDOW - 4096;
+        let err = m.write(probe, 4, 1, sp).expect_err("case II");
+        assert!(matches!(err, AccessError::Segfault { .. }));
+    }
+
+    #[test]
+    fn stack_cannot_grow_past_limit() {
+        let mut m = mem();
+        let below_limit = m.stack_lowest() - PAGE_SIZE;
+        assert!(matches!(
+            m.grow_stack_to(below_limit),
+            Err(AccessError::StackOverflow { .. })
+        ));
+        // Even a guard-window access cannot bypass the rlimit.
+        let sp = m.stack_lowest() + 64; // SP nearly at the limit
+        m.grow_stack_to(sp).expect("still legal");
+        let probe = m.stack_lowest() - 8;
+        assert!(matches!(
+            m.read(probe, 4, sp),
+            Err(AccessError::Segfault { .. })
+        ));
+    }
+
+    #[test]
+    fn free_and_invalid_free() {
+        let mut m = mem();
+        let p = m.malloc(10).expect("alloc");
+        assert_eq!(m.live_allocations(), 1);
+        m.free(p).expect("free");
+        assert_eq!(m.live_allocations(), 0);
+        assert!(matches!(m.free(p), Err(AccessError::InvalidFree { .. })));
+        assert!(matches!(
+            m.free(0x1234),
+            Err(AccessError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn heap_exhaustion() {
+        let mut m = mem();
+        assert!(matches!(
+            m.malloc(HEAP_SPAN + 1),
+            Err(AccessError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn globals_are_placed_in_data_segment_in_order() {
+        let mut m = mem();
+        let a = m.place_global(100, 8);
+        let b = m.place_global(50, 8);
+        assert!(b >= a + 100);
+        assert_eq!(a % 8, 0);
+        let sp = m.stack_top();
+        assert!(m.write(a, 4, 7, sp).is_ok());
+        assert_eq!(m.map().locate(a).map(|v| v.kind), Some(SegmentKind::Data));
+    }
+
+    #[test]
+    fn layout_slide_moves_heap_and_stack() {
+        let m0 = SimMemory::new(MemConfig::default());
+        let m1 = SimMemory::new(MemConfig {
+            layout_slide: 0x10_0000,
+            ..MemConfig::default()
+        });
+        assert_ne!(m0.stack_top(), m1.stack_top());
+        let h0 = m0.map().find_kind(SegmentKind::Heap).map(|v| v.start);
+        let h1 = m1.map().find_kind(SegmentKind::Heap).map(|v| v.start);
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn heap_slack_extends_the_mapped_region() {
+        let mut strict = SimMemory::new(MemConfig::default());
+        let mut slack = SimMemory::new(MemConfig {
+            heap_slack: 64 * 1024,
+            ..MemConfig::default()
+        });
+        let p1 = strict.malloc(100).expect("alloc");
+        let p2 = slack.malloc(100).expect("alloc");
+        assert_eq!(p1, p2, "same base placement");
+        let sp = strict.stack_top();
+        let probe = p1 + 32 * 1024; // past the strict brk, inside the slack
+        assert!(matches!(
+            strict.read(probe, 4, sp),
+            Err(AccessError::Segfault { .. })
+        ));
+        assert!(slack.read(probe, 4, sp).is_ok(), "slack keeps it mapped");
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let mut m = mem();
+        let before = m.snapshot_map();
+        let _ = m.malloc(100_000).expect("alloc");
+        let after = m.snapshot_map();
+        let h0 = before.find_kind(SegmentKind::Heap).map(|v| v.end);
+        let h1 = after.find_kind(SegmentKind::Heap).map(|v| v.end);
+        assert!(h1 > h0, "heap end must have advanced");
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = mem();
+        let p = m.malloc(2 * PAGE_SIZE).expect("alloc");
+        let sp = m.stack_top();
+        // Find an 8-byte window straddling a page boundary, 4-aligned.
+        let boundary = (p & !(PAGE_SIZE - 1)) + PAGE_SIZE;
+        let addr = boundary - 4;
+        m.write(addr, 8, 0x1122_3344_5566_7788, sp).expect("write");
+        assert_eq!(m.read(addr, 8, sp).expect("read"), 0x1122_3344_5566_7788);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the simulated memory: data integrity, fault-decision
+//! consistency, and stack-rule monotonicity.
+
+use epvf_memsim::{AccessError, MemConfig, SimMemory, PAGE_SIZE, STACK_GUARD_WINDOW};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any sequence of in-bounds writes reads back exactly (last write per
+    /// byte wins), for every access size.
+    #[test]
+    fn write_read_roundtrip(
+        ops in prop::collection::vec((0u64..4000, prop::sample::select(vec![1u64, 2, 4, 8]), any::<u64>()), 1..60)
+    ) {
+        let mut mem = SimMemory::new(MemConfig::default());
+        let base = mem.malloc(4096 + 8).expect("allocates");
+        let sp = mem.stack_top();
+        let mut shadow = vec![0u8; 4096 + 16];
+        for (off, size, val) in ops {
+            let addr = base + (off & !(size - 1)); // keep alignment
+            mem.write(addr, size, val, sp).expect("in-bounds write");
+            for i in 0..size {
+                shadow[(addr - base + i) as usize] = (val >> (8 * i)) as u8;
+            }
+        }
+        for off in (0..4096u64).step_by(8) {
+            let got = mem.read(base + off, 8, sp).expect("read");
+            let want = u64::from_le_bytes(
+                shadow[off as usize..off as usize + 8].try_into().expect("8 bytes"),
+            );
+            prop_assert_eq!(got, want, "offset {}", off);
+        }
+    }
+
+    /// The fault decision agrees with VMA membership plus the stack rule:
+    /// an address inside a mapped region never segfaults, and an address
+    /// outside every region and outside the stack window always does.
+    #[test]
+    fn fault_decision_consistent(addr in any::<u64>()) {
+        let mut mem = SimMemory::new(MemConfig::default());
+        let _ = mem.malloc(64 * 1024).expect("allocates");
+        let sp = mem.stack_top() - PAGE_SIZE;
+        mem.grow_stack_to(sp).expect("grows");
+        let aligned = addr & !7;
+        let mapped = mem.map().locate(aligned).is_some();
+        let in_window = aligned < sp
+            && aligned >= sp.saturating_sub(STACK_GUARD_WINDOW)
+            && aligned >= mem.stack_lowest();
+        let result = mem.read(aligned, 8, sp);
+        if mapped {
+            prop_assert!(result.is_ok(), "mapped address {aligned:#x} must not fault");
+        } else if !in_window {
+            prop_assert!(
+                matches!(result, Err(AccessError::Segfault { .. })),
+                "unmapped {aligned:#x} outside the window must segfault, got {result:?}"
+            );
+        }
+    }
+
+    /// Misalignment faults trigger exactly when the policy says so.
+    #[test]
+    fn alignment_policy(off in 0u64..64, size in prop::sample::select(vec![1u64, 2, 4, 8])) {
+        let mut mem = SimMemory::new(MemConfig::default());
+        let base = mem.malloc(256).expect("allocates");
+        let sp = mem.stack_top();
+        let addr = base + off;
+        let should_fault = size >= 4 && !addr.is_multiple_of(4);
+        let got = mem.read(addr, size, sp);
+        prop_assert_eq!(
+            matches!(got, Err(AccessError::Misaligned { .. })),
+            should_fault,
+            "addr {:#x} size {}", addr, size
+        );
+    }
+
+    /// Growing the stack is monotone: once an SP is reachable, any higher
+    /// SP is too, and reads above SP in the stack succeed.
+    #[test]
+    fn stack_growth_monotone(depth in 1u64..1024) {
+        let mut mem = SimMemory::new(MemConfig::default());
+        let sp = mem.stack_top() - depth * 8;
+        prop_assume!(sp >= mem.stack_lowest());
+        mem.grow_stack_to(sp).expect("grow");
+        // every address between sp and the top is now valid
+        for probe in [sp, sp + (depth * 8) / 2, mem.stack_top() - 8] {
+            let aligned = probe & !7;
+            prop_assert!(mem.read(aligned, 8, sp).is_ok(), "probe {aligned:#x}");
+        }
+    }
+
+    /// Layout slides move segments but preserve behaviour.
+    #[test]
+    fn layout_slide_preserves_semantics(slide in 0u64..0x100_0000) {
+        let cfg = MemConfig { layout_slide: slide, ..MemConfig::default() };
+        let mut mem = SimMemory::new(cfg);
+        let p = mem.malloc(128).expect("allocates");
+        let sp = mem.stack_top();
+        mem.write(p, 8, 0xABCD, sp).expect("write");
+        prop_assert_eq!(mem.read(p, 8, sp).expect("read"), 0xABCD);
+        let wild = mem.read(0x7700_0000_0000, 8, sp);
+        let segfaulted = matches!(wild, Err(AccessError::Segfault { .. }));
+        prop_assert!(segfaulted, "wild read must segfault, got {:?}", wild);
+    }
+}

@@ -1,0 +1,37 @@
+//! # epvf-protect — ePVF-informed selective instruction duplication
+//!
+//! The paper's §V case study: protect the most SDC-prone instructions by
+//! duplicating their computation slices and checking for divergence, under
+//! a performance-overhead budget. Two heuristics pick what to protect:
+//!
+//! * **ePVF ranking** — instructions whose register bits are ACE but *not*
+//!   crash-causing (high ePVF) are the SDC candidates worth protecting;
+//! * **hot-path ranking** — the prior-work baseline: protect the most
+//!   frequently executed instructions.
+//!
+//! The transform inserts, after each protected instruction, a recomputation
+//! of its duplicable backward slice plus a compare-and-`detect.if` check;
+//! runs in which the check fires classify as *Detected* instead of SDC.
+//!
+//! ```
+//! use epvf_core::{analyze, per_instruction_scores, EpvfConfig};
+//! use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
+//! use epvf_workloads::{mm, Scale};
+//!
+//! let w = mm::build(Scale::Tiny);
+//! let golden = w.golden();
+//! let trace = golden.trace.as_ref().expect("traced");
+//! let res = analyze(&w.module, trace, EpvfConfig::default());
+//! let scores = per_instruction_scores(&w.module, trace, &res.ddg, &res.ace, &res.crash_map);
+//! let ranking = rank_instructions(RankingStrategy::Epvf, &scores);
+//! let plan = plan_protection(&w.module, "main", &w.args, &ranking, 0.24, 10);
+//! assert!(plan.overhead <= 0.24);
+//! ```
+
+#![warn(missing_docs)]
+
+mod heuristic;
+mod transform;
+
+pub use heuristic::{plan_protection, rank_instructions, ProtectionPlan, RankingStrategy};
+pub use transform::{duplicable_slice, duplicate_instructions, is_duplicable};

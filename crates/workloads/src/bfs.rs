@@ -1,0 +1,206 @@
+//! Breadth-First Search (`bfs`) — Rodinia's frontier-mask graph traversal
+//! (Table IV: 203 LOC, Graph Algorithm).
+//!
+//! CSR adjacency, Rodinia-style mask arrays, rounds until the worst-case
+//! diameter; the per-node cost (depth) array is output.
+
+use crate::dsl::{for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{IcmpPred, ModuleBuilder, Type, Value};
+
+/// Deterministic test graph: a chain `i ↔ i+1` plus two pseudo-random extra
+/// out-edges per node. Returns CSR `(offsets, edges)`.
+fn make_graph(n: i32) -> (Vec<i32>, Vec<i32>) {
+    let mut input = InputStream::new(0xBF5);
+    let n = n as usize;
+    let mut adj: Vec<Vec<i32>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if i + 1 < n {
+            adj[i].push((i + 1) as i32);
+            adj[i + 1].push(i as i32);
+        }
+        for _ in 0..2 {
+            adj[i].push(input.next_below(n as u32) as i32);
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for a in &adj {
+        edges.extend_from_slice(a);
+        offsets.push(edges.len() as i32);
+    }
+    (offsets, edges)
+}
+
+/// Build `bfs` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_n(scale.pick(16, 48, 128))
+}
+
+/// Build `bfs` for `n` nodes.
+pub fn build_n(n: i32) -> Workload {
+    let (offsets, edges) = make_graph(n);
+
+    let mut mb = ModuleBuilder::new("bfs");
+    let goff = mb.global_i32s("offsets", &offsets);
+    let gedge = mb.global_i32s("edges", &edges);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let poff = f.gep(Value::Global(goff), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pedge = f.gep(Value::Global(gedge), Value::i32(0), 1);
+    let nn = Value::i32(n);
+
+    let cost = f.malloc(Value::i64(4 * i64::from(n)));
+    let mask = f.malloc(Value::i64(4 * i64::from(n)));
+    let newmask = f.malloc(Value::i64(4 * i64::from(n)));
+    for_simple(&mut f, 0, nn, |f, v| {
+        let c = f.gep(cost, v, 4);
+        f.store(Type::I32, Value::i32(-1), c);
+        let m = f.gep(mask, v, 4);
+        f.store(Type::I32, Value::i32(0), m);
+        let m2 = f.gep(newmask, v, 4);
+        f.store(Type::I32, Value::i32(0), m2);
+    });
+    // Source node 0.
+    f.store(Type::I32, Value::i32(0), cost);
+    f.store(Type::I32, Value::i32(1), mask);
+
+    // Worst-case-diameter rounds; idle rounds are no-ops.
+    for_simple(&mut f, 0, nn, |f, _round| {
+        for_simple(f, 0, nn, |f, v| {
+            let mslot = f.gep(mask, v, 4);
+            let mv = f.load(Type::I32, mslot);
+            let active = f.icmp(IcmpPred::Eq, Type::I32, mv, Value::i32(1));
+            let then_bb = f.create_block("expand");
+            let merge_bb = f.create_block("next_v");
+            f.cond_br(active, then_bb, merge_bb);
+            f.switch_to(then_bb);
+            f.store(Type::I32, Value::i32(0), mslot);
+            let cslot = f.gep(cost, v, 4);
+            let cv = f.load(Type::I32, cslot);
+            let depth = f.add(Type::I32, cv, Value::i32(1));
+            let o0 = f.gep(poff, v, 4);
+            let lo = f.load(Type::I32, o0);
+            let vp1 = f.add(Type::I32, v, Value::i32(1));
+            let o1 = f.gep(poff, vp1, 4);
+            let hi = f.load(Type::I32, o1);
+            crate::dsl::for_range(f, lo, hi, &[], |f, e, _| {
+                let eslot = f.gep(pedge, e, 4);
+                let u = f.load(Type::I32, eslot);
+                let uc = f.gep(cost, u, 4);
+                let ucost = f.load(Type::I32, uc);
+                let unvisited = f.icmp(IcmpPred::Slt, Type::I32, ucost, Value::i32(0));
+                let upd = f.create_block("visit");
+                let cont = f.create_block("cont");
+                f.cond_br(unvisited, upd, cont);
+                f.switch_to(upd);
+                f.store(Type::I32, depth, uc);
+                let um = f.gep(newmask, u, 4);
+                f.store(Type::I32, Value::i32(1), um);
+                f.br(cont);
+                f.switch_to(cont);
+                vec![]
+            });
+            f.br(merge_bb);
+            f.switch_to(merge_bb);
+        });
+        // Promote the new frontier.
+        for_simple(f, 0, nn, |f, v| {
+            let nm = f.gep(newmask, v, 4);
+            let nv = f.load(Type::I32, nm);
+            let m = f.gep(mask, v, 4);
+            f.store(Type::I32, nv, m);
+            f.store(Type::I32, Value::i32(0), nm);
+        });
+    });
+
+    for_simple(&mut f, 0, nn, |f, v| {
+        let c = f.gep(cost, v, 4);
+        let val = f.load(Type::I32, c);
+        f.output(Type::I32, val);
+    });
+    f.free(cost);
+    f.free(mask);
+    f.free(newmask);
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "bfs",
+        domain: "Graph Algorithm",
+        paper_loc: 203,
+        module: mb.finish().expect("bfs verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same rounds algorithm).
+pub fn reference(n: i32) -> Vec<i32> {
+    let (offsets, edges) = make_graph(n);
+    let n = n as usize;
+    let mut cost = vec![-1i32; n];
+    let mut mask = vec![0i32; n];
+    let mut newmask = vec![0i32; n];
+    cost[0] = 0;
+    mask[0] = 1;
+    for _round in 0..n {
+        for v in 0..n {
+            if mask[v] == 1 {
+                mask[v] = 0;
+                let depth = cost[v] + 1;
+                for e in offsets[v]..offsets[v + 1] {
+                    let u = edges[e as usize] as usize;
+                    if cost[u] < 0 {
+                        cost[u] = depth;
+                        newmask[u] = 1;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            mask[v] = newmask[v];
+            newmask[v] = 0;
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Scale::Tiny);
+        let got: Vec<i32> = w.run().outputs.iter().map(|b| *b as u32 as i32).collect();
+        assert_eq!(got, reference(16));
+    }
+
+    #[test]
+    fn all_nodes_reachable_via_chain() {
+        let got = reference(32);
+        assert!(
+            got.iter().all(|c| *c >= 0),
+            "chain edges guarantee reachability"
+        );
+        assert_eq!(got[0], 0);
+        assert!(got[1] <= 1);
+    }
+
+    #[test]
+    fn depths_respect_triangle_inequality_on_chain() {
+        let got = reference(24);
+        for i in 1..got.len() {
+            assert!(
+                got[i] <= got[i - 1] + 1,
+                "node {i}: {} vs {}",
+                got[i],
+                got[i - 1]
+            );
+        }
+    }
+}

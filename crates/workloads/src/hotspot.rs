@@ -1,0 +1,198 @@
+//! HotSpot (`hotspot`) — Rodinia's thermal simulation stencil
+//! (Table IV: 218 LOC, Physics Simulation).
+//!
+//! Iterative 5-point stencil over a temperature grid driven by a power
+//! density map, with clamped borders; final temperatures are output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{IcmpPred, ModuleBuilder, Type, Value};
+
+const CAP: f64 = 0.5;
+const RX: f64 = 0.2;
+const RY: f64 = 0.15;
+const RZ: f64 = 0.1;
+const AMB: f64 = 80.0;
+
+/// Build `hotspot` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_variant(scale, 0)
+}
+
+/// Alternate-input build (identical static structure; see `mm`).
+pub fn build_variant(scale: Scale, variant: u64) -> Workload {
+    let (dim, steps) = scale.pick((6, 3), (8, 5), (12, 8));
+    build_grid_variant(dim, steps, variant)
+}
+
+fn make_inputs(dim: i32, variant: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut input = InputStream::new(0x407 ^ variant.wrapping_mul(0x9E37_79B9));
+    let temp = input.f64s((dim * dim) as usize, 320.0, 340.0);
+    let power = input.f64s((dim * dim) as usize, 0.0, 1.0);
+    (temp, power)
+}
+
+/// Build `hotspot` for an explicit grid and step count.
+pub fn build_grid(dim: i32, steps: i32) -> Workload {
+    build_grid_variant(dim, steps, 0)
+}
+
+/// [`build_grid`] with an input-data variant.
+pub fn build_grid_variant(dim: i32, steps: i32, variant: u64) -> Workload {
+    let (temp0, power) = make_inputs(dim, variant);
+
+    let mut mb = ModuleBuilder::new("hotspot");
+    let gt = mb.global_f64s("temp", &temp0);
+    let gp = mb.global_f64s("power", &power);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let ptemp = f.gep(Value::Global(gt), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let ppower = f.gep(Value::Global(gp), Value::i32(0), 1);
+    let nd = Value::i32(dim);
+    let cells = Value::i32(dim * dim);
+
+    let t0 = f.malloc(Value::i64(8 * i64::from(dim) * i64::from(dim)));
+    let t1 = f.malloc(Value::i64(8 * i64::from(dim) * i64::from(dim)));
+    for_simple(&mut f, 0, cells, |f, i| {
+        let s = f.gep(ptemp, i, 8);
+        let v = f.load(Type::F64, s);
+        let d = f.gep(t0, i, 8);
+        f.store(Type::F64, v, d);
+    });
+
+    let finals = for_range(
+        &mut f,
+        Value::i32(0),
+        Value::i32(steps),
+        &[(Type::Ptr, t0), (Type::Ptr, t1)],
+        |f, _step, bufs| {
+            let (src, dst) = (bufs[0], bufs[1]);
+            for_simple(f, 0, nd, |f, r| {
+                for_simple(f, 0, nd, |f, c| {
+                    let clamp =
+                        |f: &mut epvf_ir::FunctionBuilder<'_>, x: Value, lo: i32, hi: i32| {
+                            let too_low = f.icmp(IcmpPred::Slt, Type::I32, x, Value::i32(lo));
+                            let cl = f.select(Type::I32, too_low, Value::i32(lo), x);
+                            let too_high = f.icmp(IcmpPred::Sgt, Type::I32, cl, Value::i32(hi));
+                            f.select(Type::I32, too_high, Value::i32(hi), cl)
+                        };
+                    let rm = f.sub(Type::I32, r, Value::i32(1));
+                    let up_r = clamp(f, rm, 0, dim - 1);
+                    let rp = f.add(Type::I32, r, Value::i32(1));
+                    let dn_r = clamp(f, rp, 0, dim - 1);
+                    let cm = f.sub(Type::I32, c, Value::i32(1));
+                    let lf_c = clamp(f, cm, 0, dim - 1);
+                    let cp = f.add(Type::I32, c, Value::i32(1));
+                    let rt_c = clamp(f, cp, 0, dim - 1);
+
+                    let at = |f: &mut epvf_ir::FunctionBuilder<'_>, row: Value, col: Value| {
+                        let rb = f.mul(Type::I32, row, nd);
+                        let idx = f.add(Type::I32, rb, col);
+                        let slot = f.gep(src, idx, 8);
+                        f.load(Type::F64, slot)
+                    };
+                    let center = at(f, r, c);
+                    let up = at(f, up_r, c);
+                    let down = at(f, dn_r, c);
+                    let left = at(f, r, lf_c);
+                    let right = at(f, r, rt_c);
+
+                    let rb = f.mul(Type::I32, r, nd);
+                    let idx = f.add(Type::I32, rb, c);
+                    let pslot = f.gep(ppower, idx, 8);
+                    let pw = f.load(Type::F64, pslot);
+
+                    // delta = cap * (power
+                    //               + (up + down − 2t)·ry
+                    //               + (left + right − 2t)·rx
+                    //               + (amb − t)·rz)
+                    let two_t = f.fmul(Type::F64, center, Value::f64(2.0));
+                    let vsum = f.fadd(Type::F64, up, down);
+                    let vdiff = f.fsub(Type::F64, vsum, two_t);
+                    let vterm = f.fmul(Type::F64, vdiff, Value::f64(RY));
+                    let hsum = f.fadd(Type::F64, left, right);
+                    let hdiff = f.fsub(Type::F64, hsum, two_t);
+                    let hterm = f.fmul(Type::F64, hdiff, Value::f64(RX));
+                    let adiff = f.fsub(Type::F64, Value::f64(AMB), center);
+                    let aterm = f.fmul(Type::F64, adiff, Value::f64(RZ));
+                    let s1 = f.fadd(Type::F64, pw, vterm);
+                    let s2 = f.fadd(Type::F64, s1, hterm);
+                    let s3 = f.fadd(Type::F64, s2, aterm);
+                    let delta = f.fmul(Type::F64, s3, Value::f64(CAP));
+                    let newt = f.fadd(Type::F64, center, delta);
+
+                    let dslot = f.gep(dst, idx, 8);
+                    f.store(Type::F64, newt, dslot);
+                });
+            });
+            vec![dst, src]
+        },
+    );
+
+    for_simple(&mut f, 0, cells, |f, i| {
+        let slot = f.gep(finals[0], i, 8);
+        let v = f.load(Type::F64, slot);
+        f.output(Type::F64, v);
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "hotspot",
+        domain: "Physics Simulation",
+        paper_loc: 218,
+        module: mb.finish().expect("hotspot verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(dim: i32, steps: i32) -> Vec<f64> {
+    let (temp0, power) = make_inputs(dim, 0);
+    let n = dim as usize;
+    let mut src = temp0;
+    let mut dst = vec![0.0f64; n * n];
+    let clamp = |x: i32| x.clamp(0, dim - 1) as usize;
+    for _ in 0..steps {
+        for r in 0..n {
+            for c in 0..n {
+                let center = src[r * n + c];
+                let up = src[clamp(r as i32 - 1) * n + c];
+                let down = src[clamp(r as i32 + 1) * n + c];
+                let left = src[r * n + clamp(c as i32 - 1)];
+                let right = src[r * n + clamp(c as i32 + 1)];
+                let pw = power[r * n + c];
+                let two_t = center * 2.0;
+                let vterm = (up + down - two_t) * RY;
+                let hterm = (left + right - two_t) * RX;
+                let aterm = (AMB - center) * RZ;
+                let delta = (pw + vterm + hterm + aterm) * CAP;
+                dst[r * n + c] = center + delta;
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let expected: Vec<u64> = reference(6, 3).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn temperatures_stay_physical() {
+        let out = reference(8, 5);
+        assert!(out.iter().all(|t| *t > 100.0 && *t < 500.0));
+    }
+}

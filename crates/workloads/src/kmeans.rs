@@ -1,0 +1,244 @@
+//! K-Means clustering (`kmeans`) — Rodinia's clustering kernel. It appears
+//! in the paper's Table II (crash-class frequencies) though not in its
+//! Table IV; it is provided here as an eleventh workload so Table II can be
+//! reproduced in full (`extended_suite`).
+//!
+//! Lloyd iterations over 2-D points: assign each point to the nearest
+//! centroid, then recompute centroids as cluster means. Final centroids and
+//! assignments are output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FcmpPred, IcmpPred, ModuleBuilder, Type, Value};
+
+const K: i32 = 3;
+
+/// Build `kmeans` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (points, iters) = scale.pick((24, 2), (48, 3), (96, 5));
+    build_km(points, iters)
+}
+
+fn make_points(n: i32) -> (Vec<f64>, Vec<f64>) {
+    let mut input = InputStream::new(0x4EA5);
+    // Three loose clusters around (0,0), (10,10), (20,0).
+    let centers = [(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)];
+    let mut xs = Vec::with_capacity(n as usize);
+    let mut ys = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let (cx, cy) = centers[i % 3];
+        xs.push(cx + input.next_f64() * 4.0 - 2.0);
+        ys.push(cy + input.next_f64() * 4.0 - 2.0);
+    }
+    (xs, ys)
+}
+
+/// Build `kmeans` for explicit point/iteration counts.
+pub fn build_km(points: i32, iters: i32) -> Workload {
+    let (xs, ys) = make_points(points);
+
+    let mut mb = ModuleBuilder::new("kmeans");
+    let gx = mb.global_f64s("xs", &xs);
+    let gy = mb.global_f64s("ys", &ys);
+    let mut f = mb.function("main", vec![], None);
+    let px = f.gep(Value::Global(gx), Value::i32(0), 1);
+    let py = f.gep(Value::Global(gy), Value::i32(0), 1);
+    let nn = Value::i32(points);
+    let kk = Value::i32(K);
+
+    let cx = f.malloc(Value::i64(8 * i64::from(K)));
+    let cy = f.malloc(Value::i64(8 * i64::from(K)));
+    let sums_x = f.malloc(Value::i64(8 * i64::from(K)));
+    let sums_y = f.malloc(Value::i64(8 * i64::from(K)));
+    let counts = f.malloc(Value::i64(4 * i64::from(K)));
+    let assign = f.malloc(Value::i64(4 * i64::from(points)));
+
+    // Initialize centroids to the first K points.
+    for_simple(&mut f, 0, kk, |f, c| {
+        let sx = f.gep(px, c, 8);
+        let vx = f.load(Type::F64, sx);
+        let dx = f.gep(cx, c, 8);
+        f.store(Type::F64, vx, dx);
+        let sy = f.gep(py, c, 8);
+        let vy = f.load(Type::F64, sy);
+        let dy = f.gep(cy, c, 8);
+        f.store(Type::F64, vy, dy);
+    });
+
+    for_simple(&mut f, 0, Value::i32(iters), |f, _it| {
+        // Reset accumulators.
+        for_simple(f, 0, kk, |f, c| {
+            let sx = f.gep(sums_x, c, 8);
+            f.store(Type::F64, Value::f64(0.0), sx);
+            let sy = f.gep(sums_y, c, 8);
+            f.store(Type::F64, Value::f64(0.0), sy);
+            let ct = f.gep(counts, c, 4);
+            f.store(Type::I32, Value::i32(0), ct);
+        });
+        // Assignment step.
+        for_simple(f, 0, nn, |f, p| {
+            let sx = f.gep(px, p, 8);
+            let x = f.load(Type::F64, sx);
+            let sy = f.gep(py, p, 8);
+            let y = f.load(Type::F64, sy);
+            let best = for_range(
+                f,
+                Value::i32(0),
+                kk,
+                &[
+                    (Type::F64, Value::f64(f64::MAX)), // best distance²
+                    (Type::I32, Value::i32(0)),        // best cluster
+                ],
+                |f, c, acc| {
+                    let cxs = f.gep(cx, c, 8);
+                    let cvx = f.load(Type::F64, cxs);
+                    let cys = f.gep(cy, c, 8);
+                    let cvy = f.load(Type::F64, cys);
+                    let dx = f.fsub(Type::F64, x, cvx);
+                    let dy = f.fsub(Type::F64, y, cvy);
+                    let dx2 = f.fmul(Type::F64, dx, dx);
+                    let dy2 = f.fmul(Type::F64, dy, dy);
+                    let d2 = f.fadd(Type::F64, dx2, dy2);
+                    let closer = f.fcmp(FcmpPred::Olt, Type::F64, d2, acc[0]);
+                    let nd = f.select(Type::F64, closer, d2, acc[0]);
+                    let nc = f.select(Type::I32, closer, c, acc[1]);
+                    vec![nd, nc]
+                },
+            );
+            let aslot = f.gep(assign, p, 4);
+            f.store(Type::I32, best[1], aslot);
+            let sxs = f.gep(sums_x, best[1], 8);
+            let sxv = f.load(Type::F64, sxs);
+            let sx2 = f.fadd(Type::F64, sxv, x);
+            f.store(Type::F64, sx2, sxs);
+            let sys = f.gep(sums_y, best[1], 8);
+            let syv = f.load(Type::F64, sys);
+            let sy2 = f.fadd(Type::F64, syv, y);
+            f.store(Type::F64, sy2, sys);
+            let cts = f.gep(counts, best[1], 4);
+            let ctv = f.load(Type::I32, cts);
+            let ct2 = f.add(Type::I32, ctv, Value::i32(1));
+            f.store(Type::I32, ct2, cts);
+        });
+        // Update step (guard empty clusters).
+        for_simple(f, 0, kk, |f, c| {
+            let cts = f.gep(counts, c, 4);
+            let ct = f.load(Type::I32, cts);
+            let nonempty = f.icmp(IcmpPred::Sgt, Type::I32, ct, Value::i32(0));
+            let upd = f.create_block("update");
+            let skip = f.create_block("skip");
+            f.cond_br(nonempty, upd, skip);
+            f.switch_to(upd);
+            let ctf = f.sitofp(Type::I32, Type::F64, ct);
+            let sxs = f.gep(sums_x, c, 8);
+            let sxv = f.load(Type::F64, sxs);
+            let mx = f.fdiv(Type::F64, sxv, ctf);
+            let cxs = f.gep(cx, c, 8);
+            f.store(Type::F64, mx, cxs);
+            let sys = f.gep(sums_y, c, 8);
+            let syv = f.load(Type::F64, sys);
+            let my = f.fdiv(Type::F64, syv, ctf);
+            let cys = f.gep(cy, c, 8);
+            f.store(Type::F64, my, cys);
+            f.br(skip);
+            f.switch_to(skip);
+        });
+    });
+
+    for_simple(&mut f, 0, kk, |f, c| {
+        let cxs = f.gep(cx, c, 8);
+        let vx = f.load(Type::F64, cxs);
+        f.output(Type::F64, vx);
+        let cys = f.gep(cy, c, 8);
+        let vy = f.load(Type::F64, cys);
+        f.output(Type::F64, vy);
+    });
+    for_simple(&mut f, 0, nn, |f, p| {
+        let aslot = f.gep(assign, p, 4);
+        let a = f.load(Type::I32, aslot);
+        f.output(Type::I32, a);
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "kmeans",
+        domain: "Data Mining",
+        paper_loc: 0, // not in the paper's Table IV
+        module: mb.finish().expect("kmeans verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(points: i32, iters: i32) -> (Vec<f64>, Vec<i32>) {
+    let (xs, ys) = make_points(points);
+    let n = points as usize;
+    let k = K as usize;
+    let mut cx: Vec<f64> = xs[..k].to_vec();
+    let mut cy: Vec<f64> = ys[..k].to_vec();
+    let mut assign = vec![0i32; n];
+    for _ in 0..iters {
+        let mut sx = vec![0.0f64; k];
+        let mut sy = vec![0.0f64; k];
+        let mut ct = vec![0i32; k];
+        for p in 0..n {
+            let mut bd = f64::MAX;
+            let mut bc = 0i32;
+            for c in 0..k {
+                let dx = xs[p] - cx[c];
+                let dy = ys[p] - cy[c];
+                let d2 = dx * dx + dy * dy;
+                if d2 < bd {
+                    bd = d2;
+                    bc = c as i32;
+                }
+            }
+            assign[p] = bc;
+            sx[bc as usize] += xs[p];
+            sy[bc as usize] += ys[p];
+            ct[bc as usize] += 1;
+        }
+        for c in 0..k {
+            if ct[c] > 0 {
+                cx[c] = sx[c] / f64::from(ct[c]);
+                cy[c] = sy[c] / f64::from(ct[c]);
+            }
+        }
+    }
+    let mut centroids = Vec::with_capacity(2 * k);
+    for c in 0..k {
+        centroids.push(cx[c]);
+        centroids.push(cy[c]);
+    }
+    (centroids, assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let (centroids, assign) = reference(24, 2);
+        let mut expected: Vec<u64> = centroids.iter().map(|v| v.to_bits()).collect();
+        expected.extend(assign.iter().map(|a| *a as u32 as u64));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clusters_separate_the_three_blobs() {
+        let (_, assign) = reference(48, 3);
+        // Points were generated round-robin over three blobs; after a few
+        // iterations, same-blob points must share a cluster id.
+        for blob in 0..3usize {
+            let ids: Vec<i32> = assign.iter().skip(blob).step_by(3).copied().collect();
+            assert!(
+                ids.iter().all(|i| *i == ids[0]),
+                "blob {blob} split across clusters: {ids:?}"
+            );
+        }
+    }
+}

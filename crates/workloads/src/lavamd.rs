@@ -1,0 +1,224 @@
+//! LAVA Molecular Dynamics (`lavaMD`) — Rodinia's particle-interaction
+//! kernel (Table IV: 218 LOC, Molecular Dynamics).
+//!
+//! Particles live in a 1-D row of boxes; each particle accumulates a
+//! short-range potential/force contribution from every particle in its own
+//! and adjacent boxes (`exp(−α²·r²)` kernel). Forces are output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FunctionBuilder, IcmpPred, ModuleBuilder, Type, Value};
+
+const ALPHA2: f64 = 0.5;
+
+/// Build `lavaMD` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (boxes, per_box) = scale.pick((2, 4), (3, 6), (4, 8));
+    build_boxes(boxes, per_box)
+}
+
+fn make_particles(boxes: i32, per_box: i32) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut input = InputStream::new(0x1A7A);
+    let n = (boxes * per_box) as usize;
+    let x = input.f64s(n, 0.0, boxes as f64);
+    let y = input.f64s(n, 0.0, 1.0);
+    let z = input.f64s(n, 0.0, 1.0);
+    let q = input.f64s(n, 0.1, 1.0);
+    (x, y, z, q)
+}
+
+/// Build `lavaMD` for an explicit box layout.
+pub fn build_boxes(boxes: i32, per_box: i32) -> Workload {
+    let (x, y, z, q) = make_particles(boxes, per_box);
+    let n = boxes * per_box;
+
+    let mut mb = ModuleBuilder::new("lavaMD");
+    let gx = mb.global_f64s("x", &x);
+    let gy = mb.global_f64s("y", &y);
+    let gz = mb.global_f64s("z", &z);
+    let gq = mb.global_f64s("q", &q);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let px = f.gep(Value::Global(gx), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let py = f.gep(Value::Global(gy), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pz = f.gep(Value::Global(gz), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pq = f.gep(Value::Global(gq), Value::i32(0), 1);
+
+    let fx = f.malloc(Value::i64(8 * i64::from(n)));
+    let fy = f.malloc(Value::i64(8 * i64::from(n)));
+    let fz = f.malloc(Value::i64(8 * i64::from(n)));
+    let fe = f.malloc(Value::i64(8 * i64::from(n)));
+    for_simple(&mut f, 0, Value::i32(n), |f, i| {
+        for buf in [fx, fy, fz, fe] {
+            let s = f.gep(buf, i, 8);
+            f.store(Type::F64, Value::f64(0.0), s);
+        }
+    });
+
+    let load_g = |f: &mut FunctionBuilder<'_>, base: Value, i: Value| {
+        let s = f.gep(base, i, 8);
+        f.load(Type::F64, s)
+    };
+
+    for_simple(&mut f, 0, Value::i32(boxes), |f, b| {
+        // Neighbour boxes b−1, b, b+1 (skipping out-of-range ones).
+        for_simple(f, -1, Value::i32(2), |f, d| {
+            let nb = f.add(Type::I32, b, d);
+            let ge0 = f.icmp(IcmpPred::Sge, Type::I32, nb, Value::i32(0));
+            let ltb = f.icmp(IcmpPred::Slt, Type::I32, nb, Value::i32(boxes));
+            let in_range = f.and(Type::I1, ge0, ltb);
+            let work = f.create_block("interact");
+            let skip = f.create_block("skip");
+            f.cond_br(in_range, work, skip);
+            f.switch_to(work);
+            for_simple(f, 0, Value::i32(per_box), |f, i| {
+                let bb = f.mul(Type::I32, b, Value::i32(per_box));
+                let pi = f.add(Type::I32, bb, i);
+                let xi = load_g(f, px, pi);
+                let yi = load_g(f, py, pi);
+                let zi = load_g(f, pz, pi);
+                let acc = for_range(
+                    f,
+                    Value::i32(0),
+                    Value::i32(per_box),
+                    &[
+                        (Type::F64, Value::f64(0.0)),
+                        (Type::F64, Value::f64(0.0)),
+                        (Type::F64, Value::f64(0.0)),
+                        (Type::F64, Value::f64(0.0)),
+                    ],
+                    |f, jx, acc| {
+                        let nbb = f.mul(Type::I32, nb, Value::i32(per_box));
+                        let pj = f.add(Type::I32, nbb, jx);
+                        let xj = load_g(f, px, pj);
+                        let yj = load_g(f, py, pj);
+                        let zj = load_g(f, pz, pj);
+                        let qj = load_g(f, pq, pj);
+                        let dx = f.fsub(Type::F64, xi, xj);
+                        let dy = f.fsub(Type::F64, yi, yj);
+                        let dz = f.fsub(Type::F64, zi, zj);
+                        let dx2 = f.fmul(Type::F64, dx, dx);
+                        let dy2 = f.fmul(Type::F64, dy, dy);
+                        let dz2 = f.fmul(Type::F64, dz, dz);
+                        let r2a = f.fadd(Type::F64, dx2, dy2);
+                        let r2 = f.fadd(Type::F64, r2a, dz2);
+                        let u2 = f.fmul(Type::F64, r2, Value::f64(ALPHA2));
+                        let nu2 = f.fneg(Type::F64, u2);
+                        let vij = f.exp(Type::F64, nu2);
+                        let s = f.fmul(Type::F64, vij, qj);
+                        let e = f.fadd(Type::F64, acc[3], s);
+                        let sx = f.fmul(Type::F64, s, dx);
+                        let ax = f.fadd(Type::F64, acc[0], sx);
+                        let sy = f.fmul(Type::F64, s, dy);
+                        let ay = f.fadd(Type::F64, acc[1], sy);
+                        let sz = f.fmul(Type::F64, s, dz);
+                        let az = f.fadd(Type::F64, acc[2], sz);
+                        vec![ax, ay, az, e]
+                    },
+                );
+                for (buf, a) in [(fx, acc[0]), (fy, acc[1]), (fz, acc[2]), (fe, acc[3])] {
+                    let s = f.gep(buf, pi, 8);
+                    let cur = f.load(Type::F64, s);
+                    let upd = f.fadd(Type::F64, cur, a);
+                    f.store(Type::F64, upd, s);
+                }
+            });
+            f.br(skip);
+            f.switch_to(skip);
+        });
+    });
+
+    for buf in [fx, fy, fz, fe] {
+        for_simple(&mut f, 0, Value::i32(n), |f, i| {
+            let s = f.gep(buf, i, 8);
+            let v = f.load(Type::F64, s);
+            f.output(Type::F64, v);
+        });
+    }
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "lavaMD",
+        domain: "Molecular Dynamics",
+        paper_loc: 218,
+        module: mb.finish().expect("lavaMD verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(boxes: i32, per_box: i32) -> Vec<f64> {
+    let (x, y, z, q) = make_particles(boxes, per_box);
+    let n = (boxes * per_box) as usize;
+    let mut fx = vec![0.0f64; n];
+    let mut fy = vec![0.0f64; n];
+    let mut fz = vec![0.0f64; n];
+    let mut fe = vec![0.0f64; n];
+    for b in 0..boxes {
+        for d in -1..2 {
+            let nb = b + d;
+            if !(0..boxes).contains(&nb) {
+                continue;
+            }
+            for i in 0..per_box {
+                let pi = (b * per_box + i) as usize;
+                let (xi, yi, zi) = (x[pi], y[pi], z[pi]);
+                let mut acc = [0.0f64; 4];
+                for jx in 0..per_box {
+                    let pj = (nb * per_box + jx) as usize;
+                    let dx = xi - x[pj];
+                    let dy = yi - y[pj];
+                    let dz = zi - z[pj];
+                    let r2 = (dx * dx + dy * dy) + dz * dz;
+                    let vij = (-(r2 * ALPHA2)).exp();
+                    let s = vij * q[pj];
+                    acc[3] += s;
+                    acc[0] += s * dx;
+                    acc[1] += s * dy;
+                    acc[2] += s * dz;
+                }
+                fx[pi] += acc[0];
+                fy[pi] += acc[1];
+                fz[pi] += acc[2];
+                fe[pi] += acc[3];
+            }
+        }
+    }
+    let mut out = fx;
+    out.extend(fy);
+    out.extend(fz);
+    out.extend(fe);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let expected: Vec<u64> = reference(2, 4).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn self_interaction_energy_positive() {
+        let out = reference(2, 4);
+        let n = 8;
+        let fe = &out[3 * n..];
+        assert!(
+            fe.iter().all(|e| *e > 0.0),
+            "every particle sees itself: energy > 0"
+        );
+    }
+}

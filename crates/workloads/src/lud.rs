@@ -1,0 +1,155 @@
+//! LU Decomposition (`lud`) — Rodinia's in-place Doolittle factorization
+//! (Table IV: 174 LOC, Linear Algebra).
+//!
+//! The input matrix is made diagonally dominant so no pivoting is needed
+//! (as in Rodinia's generated inputs); the factored matrix is output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{ModuleBuilder, Type, Value};
+
+/// Build `lud` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_variant(scale, 0)
+}
+
+/// Alternate-input build (identical static structure; see `mm`).
+pub fn build_variant(scale: Scale, variant: u64) -> Workload {
+    build_n_variant(scale.pick(6, 10, 14), variant)
+}
+
+fn make_input(n: i32, variant: u64) -> Vec<f64> {
+    let mut input = InputStream::new(0x10D ^ variant.wrapping_mul(0x9E37_79B9));
+    let mut a = input.f64s((n * n) as usize, 0.0, 1.0);
+    for i in 0..n as usize {
+        a[i * n as usize + i] += f64::from(n); // diagonal dominance
+    }
+    a
+}
+
+/// Build `lud` for an `n×n` matrix.
+pub fn build_n(n: i32) -> Workload {
+    build_n_variant(n, 0)
+}
+
+/// [`build_n`] with an input-data variant.
+pub fn build_n_variant(n: i32, variant: u64) -> Workload {
+    let a_init = make_input(n, variant);
+
+    let mut mb = ModuleBuilder::new("lud");
+    let ga = mb.global_f64s("a", &a_init);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pa = f.gep(Value::Global(ga), Value::i32(0), 1);
+    let nn = Value::i32(n);
+
+    // Work in heap memory (copied from the global input).
+    let a = f.malloc(Value::i64(8 * i64::from(n) * i64::from(n)));
+    for_simple(&mut f, 0, Value::i32(n * n), |f, i| {
+        let s = f.gep(pa, i, 8);
+        let v = f.load(Type::F64, s);
+        let d = f.gep(a, i, 8);
+        f.store(Type::F64, v, d);
+    });
+
+    for_simple(&mut f, 0, nn, |f, k| {
+        let krow = f.mul(Type::I32, k, nn);
+        let kk = f.add(Type::I32, krow, k);
+        let kkslot = f.gep(a, kk, 8);
+        let kp1 = f.add(Type::I32, k, Value::i32(1));
+        for_range(f, kp1, nn, &[], |f, i, _| {
+            let irow = f.mul(Type::I32, i, nn);
+            let ik = f.add(Type::I32, irow, k);
+            let ikslot = f.gep(a, ik, 8);
+            let aik = f.load(Type::F64, ikslot);
+            let akk = f.load(Type::F64, kkslot);
+            let l = f.fdiv(Type::F64, aik, akk);
+            f.store(Type::F64, l, ikslot);
+            for_range(f, kp1, nn, &[], |f, j, _| {
+                let kj = f.add(Type::I32, krow, j);
+                let kjslot = f.gep(a, kj, 8);
+                let akj = f.load(Type::F64, kjslot);
+                let ij = f.add(Type::I32, irow, j);
+                let ijslot = f.gep(a, ij, 8);
+                let aij = f.load(Type::F64, ijslot);
+                let prod = f.fmul(Type::F64, l, akj);
+                let upd = f.fsub(Type::F64, aij, prod);
+                f.store(Type::F64, upd, ijslot);
+                vec![]
+            });
+            vec![]
+        });
+    });
+
+    for_simple(&mut f, 0, Value::i32(n * n), |f, i| {
+        let s = f.gep(a, i, 8);
+        let v = f.load(Type::F64, s);
+        f.output(Type::F64, v);
+    });
+    f.free(a);
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "lud",
+        domain: "Linear Algebra",
+        paper_loc: 174,
+        module: mb.finish().expect("lud verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(n: i32) -> Vec<f64> {
+    let mut a = make_input(n, 0);
+    let n = n as usize;
+    for k in 0..n {
+        for i in k + 1..n {
+            let l = a[i * n + k] / a[k * n + k];
+            a[i * n + k] = l;
+            for j in k + 1..n {
+                a[i * n + j] -= l * a[k * n + j];
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got: Vec<u64> = w.run().outputs;
+        let expected: Vec<u64> = reference(6).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lu_reconstructs_original() {
+        // L·U must reproduce the input matrix (numerically).
+        let n = 6usize;
+        let lu = reference(6);
+        let orig = make_input(6, 0);
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let u = lu[k * n + j];
+                    if k <= j && k <= i {
+                        sum += l * u;
+                    }
+                }
+                assert!(
+                    (sum - orig[i * n + j]).abs() < 1e-9,
+                    "A[{i}][{j}]: {sum} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+}

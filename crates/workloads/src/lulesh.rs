@@ -1,0 +1,228 @@
+//! Mini-LULESH (`lulesh`) — a 1-D Lagrangian explicit shock-hydrodynamics
+//! miniature of the DOE proxy app the paper evaluates (Table IV: 3,000 LOC,
+//! Physics Modelling).
+//!
+//! A Sedov-style energy deposit in the first element drives a shock through
+//! a 1-D staggered mesh: nodal velocities/positions integrate the pressure
+//! gradient, element volumes follow the node motion, and an ideal-gas EOS
+//! closes the system. Final element energies and pressures plus node
+//! positions are output.
+
+use crate::dsl::{for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FunctionBuilder, IcmpPred, ModuleBuilder, Type, Value};
+
+const GAMMA: f64 = 1.4;
+const DT: f64 = 0.01;
+const E0: f64 = 1.0;
+
+/// Build `lulesh` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (elems, steps) = scale.pick((8, 4), (16, 8), (32, 12));
+    build_mesh(elems, steps)
+}
+
+fn initial_energy(elems: i32) -> Vec<f64> {
+    // Tiny random background energy plus the Sedov deposit in element 0.
+    let mut input = InputStream::new(0x10135);
+    let mut e = input.f64s(elems as usize, 0.001, 0.01);
+    e[0] = E0;
+    e
+}
+
+/// Build `lulesh` for an explicit mesh and step count.
+pub fn build_mesh(elems: i32, steps: i32) -> Workload {
+    let e_init = initial_energy(elems);
+    let h0 = 1.0 / f64::from(elems);
+
+    let mut mb = ModuleBuilder::new("lulesh");
+    let ge = mb.global_f64s("e0", &e_init);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pe0 = f.gep(Value::Global(ge), Value::i32(0), 1);
+    let ne = Value::i32(elems);
+    let nnodes = Value::i32(elems + 1);
+
+    let x = f.malloc(Value::i64(8 * (i64::from(elems) + 1)));
+    let xd = f.malloc(Value::i64(8 * (i64::from(elems) + 1)));
+    let e = f.malloc(Value::i64(8 * i64::from(elems)));
+    let p = f.malloc(Value::i64(8 * i64::from(elems)));
+    let v = f.malloc(Value::i64(8 * i64::from(elems)));
+
+    // Mesh setup: x[i] = i·h0, xd = 0; e from the deposit; v = 1;
+    // p = (γ−1)·e/v.
+    for_simple(&mut f, 0, nnodes, |f, i| {
+        let fi = f.sitofp(Type::I32, Type::F64, i);
+        let xi = f.fmul(Type::F64, fi, Value::f64(h0));
+        let xs = f.gep(x, i, 8);
+        f.store(Type::F64, xi, xs);
+        let xds = f.gep(xd, i, 8);
+        f.store(Type::F64, Value::f64(0.0), xds);
+    });
+    for_simple(&mut f, 0, ne, |f, j| {
+        let es0 = f.gep(pe0, j, 8);
+        let ev = f.load(Type::F64, es0);
+        let es = f.gep(e, j, 8);
+        f.store(Type::F64, ev, es);
+        let vs = f.gep(v, j, 8);
+        f.store(Type::F64, Value::f64(1.0), vs);
+        let pe = f.fmul(Type::F64, ev, Value::f64(GAMMA - 1.0));
+        let ps = f.gep(p, j, 8);
+        f.store(Type::F64, pe, ps);
+    });
+
+    let load_at = |f: &mut FunctionBuilder<'_>, buf: Value, i: Value| {
+        let s = f.gep(buf, i, 8);
+        f.load(Type::F64, s)
+    };
+
+    for_simple(&mut f, 0, Value::i32(steps), |f, _s| {
+        // Nodal acceleration from the pressure gradient; leapfrog update.
+        for_simple(f, 0, nnodes, |f, i| {
+            let has_left = f.icmp(IcmpPred::Sgt, Type::I32, i, Value::i32(0));
+            let im1 = f.sub(Type::I32, i, Value::i32(1));
+            let li = f.select(Type::I32, has_left, im1, Value::i32(0));
+            let pl_raw = load_at(f, p, li);
+            let pl = f.select(Type::F64, has_left, pl_raw, Value::f64(0.0));
+            let has_right = f.icmp(IcmpPred::Slt, Type::I32, i, ne);
+            let ri = f.select(Type::I32, has_right, i, Value::i32(0));
+            let pr_raw = load_at(f, p, ri);
+            let pr = f.select(Type::F64, has_right, pr_raw, Value::f64(0.0));
+            let force = f.fsub(Type::F64, pl, pr);
+            // nodal mass = h0 (ρ₀ = 1)
+            let accel = f.fdiv(Type::F64, force, Value::f64(h0));
+            let dv = f.fmul(Type::F64, accel, Value::f64(DT));
+            let xds = f.gep(xd, i, 8);
+            let xdv = f.load(Type::F64, xds);
+            let xd2 = f.fadd(Type::F64, xdv, dv);
+            f.store(Type::F64, xd2, xds);
+            let mv = f.fmul(Type::F64, xd2, Value::f64(DT));
+            let xs = f.gep(x, i, 8);
+            let xv = f.load(Type::F64, xs);
+            let x2 = f.fadd(Type::F64, xv, mv);
+            f.store(Type::F64, x2, xs);
+        });
+        // Element volume change, energy update, EOS.
+        for_simple(f, 0, ne, |f, j| {
+            let jp1 = f.add(Type::I32, j, Value::i32(1));
+            let xr = load_at(f, x, jp1);
+            let xl = load_at(f, x, j);
+            let width = f.fsub(Type::F64, xr, xl);
+            let newv = f.fdiv(Type::F64, width, Value::f64(h0));
+            let vs = f.gep(v, j, 8);
+            let oldv = f.load(Type::F64, vs);
+            let dvol = f.fsub(Type::F64, newv, oldv);
+            let ps = f.gep(p, j, 8);
+            let pv = f.load(Type::F64, ps);
+            let work = f.fmul(Type::F64, pv, dvol);
+            let es = f.gep(e, j, 8);
+            let ev = f.load(Type::F64, es);
+            let e1 = f.fsub(Type::F64, ev, work);
+            // Keep energy non-negative (LULESH's emin floor).
+            let e2 = f.fmax(Type::F64, e1, Value::f64(0.0));
+            f.store(Type::F64, e2, es);
+            f.store(Type::F64, newv, vs);
+            let num = f.fmul(Type::F64, e2, Value::f64(GAMMA - 1.0));
+            let pnew = f.fdiv(Type::F64, num, newv);
+            let pclamped = f.fmax(Type::F64, pnew, Value::f64(0.0));
+            f.store(Type::F64, pclamped, ps);
+        });
+    });
+
+    for_simple(&mut f, 0, ne, |f, j| {
+        let ev = load_at(f, e, j);
+        f.output(Type::F64, ev);
+        let pv = load_at(f, p, j);
+        f.output(Type::F64, pv);
+    });
+    for_simple(&mut f, 0, nnodes, |f, i| {
+        let xv = load_at(f, x, i);
+        f.output(Type::F64, xv);
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "lulesh",
+        domain: "Physics Modelling",
+        paper_loc: 3000,
+        module: mb.finish().expect("lulesh verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(elems: i32, steps: i32) -> Vec<f64> {
+    let h0 = 1.0 / f64::from(elems);
+    let n = elems as usize;
+    let mut x: Vec<f64> = (0..=n).map(|i| i as f64 * h0).collect();
+    let mut xd = vec![0.0f64; n + 1];
+    let mut e = initial_energy(elems);
+    let mut v = vec![1.0f64; n];
+    let mut p: Vec<f64> = e.iter().map(|ev| ev * (GAMMA - 1.0)).collect();
+    for _ in 0..steps {
+        for i in 0..=n {
+            let pl = if i > 0 { p[i - 1] } else { 0.0 };
+            let pr = if i < n { p[i] } else { 0.0 };
+            let accel = (pl - pr) / h0;
+            xd[i] += accel * DT;
+            x[i] += xd[i] * DT;
+        }
+        for j in 0..n {
+            let newv = (x[j + 1] - x[j]) / h0;
+            let dvol = newv - v[j];
+            let work = p[j] * dvol;
+            e[j] = (e[j] - work).max(0.0);
+            v[j] = newv;
+            p[j] = (e[j] * (GAMMA - 1.0) / newv).max(0.0);
+        }
+    }
+    let mut out = Vec::new();
+    for j in 0..n {
+        out.push(e[j]);
+        out.push(p[j]);
+    }
+    out.extend(x);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let expected: Vec<u64> = reference(8, 4).iter().map(|f| f.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mesh_nodes_stay_ordered() {
+        let elems = 16;
+        let out = reference(elems, 8);
+        let x = &out[2 * elems as usize..];
+        for w in x.windows(2) {
+            assert!(w[0] < w[1], "shock must not tangle the mesh: {w:?}");
+        }
+    }
+
+    #[test]
+    fn shock_propagates_rightward() {
+        let elems = 16usize;
+        let out = reference(16, 8);
+        let e: Vec<f64> = (0..elems).map(|j| out[2 * j]).collect();
+        // Energy must have spread beyond element 0 but stay concentrated left.
+        let initial = initial_energy(16);
+        assert!(
+            e[1] > initial[1],
+            "element 1 received energy: {} vs {}",
+            e[1],
+            initial[1]
+        );
+        assert!(e[0] < E0, "element 0 lost energy doing work");
+        assert!(e[elems - 1] < 0.02, "far field still quiet");
+    }
+}

@@ -1,0 +1,136 @@
+//! Matrix multiplication (`mm`) — the paper's basic linear-algebra kernel
+//! (Table IV: 100 LOC, Linear Algebra).
+//!
+//! `C = A × B` over `n×n` double matrices; every element of `C` is program
+//! output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{ModuleBuilder, Type, Value};
+
+/// Build `mm` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_variant(scale, 0)
+}
+
+/// Build `mm` with an alternate input data set (same structure and static
+/// instruction ids — only the global initializers change), for the §V
+/// different-inputs protection evaluation.
+pub fn build_variant(scale: Scale, variant: u64) -> Workload {
+    let n = scale.pick(6, 10, 16);
+    build_n_variant(n, variant)
+}
+
+/// Build `mm` for an explicit matrix dimension.
+pub fn build_n(n: i32) -> Workload {
+    build_n_variant(n, 0)
+}
+
+/// [`build_n`] with an input-data variant.
+pub fn build_n_variant(n: i32, variant: u64) -> Workload {
+    let mut input = InputStream::new(0xA11CE ^ variant.wrapping_mul(0x9E37_79B9));
+    let a = input.f64s((n * n) as usize, -1.0, 1.0);
+    let b = input.f64s((n * n) as usize, -1.0, 1.0);
+
+    let mut mb = ModuleBuilder::new("mm");
+    let ga = mb.global_f64s("a", &a);
+    let gb = mb.global_f64s("b", &b);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pa = f.gep(Value::Global(ga), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pb = f.gep(Value::Global(gb), Value::i32(0), 1);
+    let nn = Value::i32(n);
+    let c = f.malloc(Value::i64(8 * i64::from(n) * i64::from(n)));
+
+    for_simple(&mut f, 0, nn, |f, i| {
+        for_simple(f, 0, nn, |f, j| {
+            let row_base = f.mul(Type::I32, i, nn);
+            let sum = for_range(
+                f,
+                Value::i32(0),
+                nn,
+                &[(Type::F64, Value::f64(0.0))],
+                |f, k, acc| {
+                    let ai = f.add(Type::I32, row_base, k);
+                    let aslot = f.gep(pa, ai, 8);
+                    let av = f.load(Type::F64, aslot);
+                    let brow = f.mul(Type::I32, k, nn);
+                    let bi = f.add(Type::I32, brow, j);
+                    let bslot = f.gep(pb, bi, 8);
+                    let bv = f.load(Type::F64, bslot);
+                    let prod = f.fmul(Type::F64, av, bv);
+                    vec![f.fadd(Type::F64, acc[0], prod)]
+                },
+            );
+            let ci = f.add(Type::I32, row_base, j);
+            let cslot = f.gep(c, ci, 8);
+            f.store(Type::F64, sum[0], cslot);
+        });
+    });
+
+    // Emit C as output.
+    let total = Value::i32(n * n);
+    for_simple(&mut f, 0, total, |f, i| {
+        let slot = f.gep(c, i, 8);
+        let v = f.load(Type::F64, slot);
+        f.output(Type::F64, v);
+    });
+    f.free(c);
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "mm",
+        domain: "Linear Algebra",
+        paper_loc: 100,
+        module: mb.finish().expect("mm verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference, mirroring the IR's operation order exactly.
+pub fn reference(n: i32) -> Vec<f64> {
+    let mut input = InputStream::new(0xA11CE);
+    let a = input.f64s((n * n) as usize, -1.0, 1.0);
+    let b = input.f64s((n * n) as usize, -1.0, 1.0);
+    let n = n as usize;
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0.0f64;
+            for k in 0..n {
+                sum += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = sum;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let r = w.run();
+        let expected = reference(6);
+        let got: Vec<f64> = r.outputs.iter().map(|b| f64::from_bits(*b)).collect();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.to_bits(), e.to_bits(), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn scales_change_trace_length() {
+        let tiny = build(Scale::Tiny).run().dyn_insts;
+        let small = build(Scale::Small).run().dyn_insts;
+        assert!(small > 2 * tiny);
+        assert!(tiny > 1000, "tiny = {tiny}");
+    }
+}

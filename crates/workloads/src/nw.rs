@@ -1,0 +1,297 @@
+//! Needleman–Wunsch (`nw`) — Rodinia's global sequence alignment DP kernel
+//! (Table IV: 272 LOC, Bioinformatics).
+//!
+//! Fills the `(n+1)×(n+1)` score matrix with
+//! `max(diag + sim, up − penalty, left − penalty)`, outputs the last row,
+//! then performs the traceback from `(n, n)` emitting the alignment moves
+//! (1 = diagonal, 2 = up, 3 = left, 0 = done) as the serial Rodinia code
+//! does.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FunctionBuilder, IcmpPred, ModuleBuilder, Type, Value};
+
+const PENALTY: i32 = 2;
+const MATCH: i32 = 3;
+const MISMATCH: i32 = -1;
+
+/// Build `nw` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_variant(scale, 0)
+}
+
+/// Alternate-input build (identical static structure; see `mm`).
+pub fn build_variant(scale: Scale, variant: u64) -> Workload {
+    build_n_variant(scale.pick(8, 16, 24), variant)
+}
+
+/// Build `nw` for sequences of length `n`.
+pub fn build_n(n: i32) -> Workload {
+    build_n_variant(n, 0)
+}
+
+/// [`build_n`] with an input-data variant.
+pub fn build_n_variant(n: i32, variant: u64) -> Workload {
+    let mut input = InputStream::new(0x5E05 ^ variant.wrapping_mul(0x9E37_79B9));
+    let s1 = input.i32s(n as usize, 4);
+    let s2 = input.i32s(n as usize, 4);
+
+    let mut mb = ModuleBuilder::new("nw");
+    let g1 = mb.global_i32s("seq1", &s1);
+    let g2 = mb.global_i32s("seq2", &s2);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let ps1 = f.gep(Value::Global(g1), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let ps2 = f.gep(Value::Global(g2), Value::i32(0), 1);
+    let dim = n + 1;
+    let score = f.malloc(Value::i64(4 * i64::from(dim) * i64::from(dim)));
+
+    // Borders: score[i][0] = -i*penalty, score[0][j] = -j*penalty.
+    for_simple(&mut f, 0, Value::i32(dim), |f, i| {
+        let neg = f.mul(Type::I32, i, Value::i32(-PENALTY));
+        let ri = f.mul(Type::I32, i, Value::i32(dim));
+        let rslot = f.gep(score, ri, 4);
+        f.store(Type::I32, neg, rslot);
+        let cslot = f.gep(score, i, 4);
+        f.store(Type::I32, neg, cslot);
+    });
+
+    for_simple(&mut f, 1, Value::i32(dim), |f, i| {
+        for_simple(f, 1, Value::i32(dim), |f, j| {
+            let im1 = f.sub(Type::I32, i, Value::i32(1));
+            let jm1 = f.sub(Type::I32, j, Value::i32(1));
+            let a_slot = f.gep(ps1, im1, 4);
+            let a = f.load(Type::I32, a_slot);
+            let b_slot = f.gep(ps2, jm1, 4);
+            let b = f.load(Type::I32, b_slot);
+            let same = f.icmp(IcmpPred::Eq, Type::I32, a, b);
+            let sim = f.select(Type::I32, same, Value::i32(MATCH), Value::i32(MISMATCH));
+
+            let row = f.mul(Type::I32, i, Value::i32(dim));
+            let rowm1 = f.mul(Type::I32, im1, Value::i32(dim));
+            let di = f.add(Type::I32, rowm1, jm1);
+            let dslot = f.gep(score, di, 4);
+            let diag = f.load(Type::I32, dslot);
+            let ui = f.add(Type::I32, rowm1, j);
+            let uslot = f.gep(score, ui, 4);
+            let up = f.load(Type::I32, uslot);
+            let li = f.add(Type::I32, row, jm1);
+            let lslot = f.gep(score, li, 4);
+            let left = f.load(Type::I32, lslot);
+
+            let cand1 = f.add(Type::I32, diag, sim);
+            let cand2 = f.sub(Type::I32, up, Value::i32(PENALTY));
+            let cand3 = f.sub(Type::I32, left, Value::i32(PENALTY));
+            let gt12 = f.icmp(IcmpPred::Sgt, Type::I32, cand1, cand2);
+            let m12 = f.select(Type::I32, gt12, cand1, cand2);
+            let gt3 = f.icmp(IcmpPred::Sgt, Type::I32, m12, cand3);
+            let best = f.select(Type::I32, gt3, m12, cand3);
+
+            let ci = f.add(Type::I32, row, j);
+            let cslot = f.gep(score, ci, 4);
+            f.store(Type::I32, best, cslot);
+        });
+    });
+
+    // Output the last row.
+    let last_row = f.mul(Type::I32, Value::i32(n), Value::i32(dim));
+    for_simple(&mut f, 0, Value::i32(dim), |f, j| {
+        let idx = f.add(Type::I32, last_row, j);
+        let slot = f.gep(score, idx, 4);
+        let v = f.load(Type::I32, slot);
+        f.output(Type::I32, v);
+    });
+
+    // Traceback from (n, n): 2n fixed steps with select-guarded moves.
+    let at = |f: &mut FunctionBuilder<'_>, i: Value, j: Value| {
+        let row = f.mul(Type::I32, i, Value::i32(dim));
+        let idx = f.add(Type::I32, row, j);
+        let slot = f.gep(score, idx, 4);
+        f.load(Type::I32, slot)
+    };
+    for_range(
+        &mut f,
+        Value::i32(0),
+        Value::i32(2 * n),
+        &[(Type::I32, Value::i32(n)), (Type::I32, Value::i32(n))],
+        |f, _step, ij| {
+            let (i, j) = (ij[0], ij[1]);
+            let zero = Value::i32(0);
+            let one = Value::i32(1);
+            let i_pos = f.icmp(IcmpPred::Sgt, Type::I32, i, zero);
+            let j_pos = f.icmp(IcmpPred::Sgt, Type::I32, j, zero);
+            let active = f.or(Type::I1, i_pos, j_pos);
+            let im1r = f.sub(Type::I32, i, one);
+            let im1 = f.select(Type::I32, i_pos, im1r, zero);
+            let jm1r = f.sub(Type::I32, j, one);
+            let jm1 = f.select(Type::I32, j_pos, jm1r, zero);
+
+            let cur = at(f, i, j);
+            let diag = at(f, im1, jm1);
+            let up = at(f, im1, j);
+            let left = at(f, i, jm1);
+            let a_slot = f.gep(ps1, im1, 4);
+            let av = f.load(Type::I32, a_slot);
+            let b_slot = f.gep(ps2, jm1, 4);
+            let bv = f.load(Type::I32, b_slot);
+            let same = f.icmp(IcmpPred::Eq, Type::I32, av, bv);
+            let sim = f.select(Type::I32, same, Value::i32(MATCH), Value::i32(MISMATCH));
+
+            let both = f.and(Type::I1, i_pos, j_pos);
+            let dsum = f.add(Type::I32, diag, sim);
+            let d_eq = f.icmp(IcmpPred::Eq, Type::I32, cur, dsum);
+            let is_diag = f.and(Type::I1, both, d_eq);
+            let usum = f.sub(Type::I32, up, Value::i32(PENALTY));
+            let u_eq = f.icmp(IcmpPred::Eq, Type::I32, cur, usum);
+            let u_ok = f.and(Type::I1, i_pos, u_eq);
+            let not_diag = f.xor(Type::I1, is_diag, Value::bool(true));
+            let is_up_m = f.and(Type::I1, not_diag, u_ok);
+            let lsum = f.sub(Type::I32, left, Value::i32(PENALTY));
+            let l_eq = f.icmp(IcmpPred::Eq, Type::I32, cur, lsum);
+            let l_ok = f.and(Type::I1, j_pos, l_eq);
+            let not_up = f.xor(Type::I1, is_up_m, Value::bool(true));
+            let nd_nu = f.and(Type::I1, not_diag, not_up);
+            let is_left_m = f.and(Type::I1, nd_nu, l_ok);
+            // Boundary fallbacks: column 0 forces up, row 0 forces left.
+            let none_matched = {
+                let nl = f.xor(Type::I1, is_left_m, Value::bool(true));
+                f.and(Type::I1, nd_nu, nl)
+            };
+            let fb_up = f.and(Type::I1, none_matched, i_pos);
+            let is_up = f.or(Type::I1, is_up_m, fb_up);
+            let nfb = f.xor(Type::I1, fb_up, Value::bool(true));
+            let fb_left = f.and(Type::I1, none_matched, nfb);
+            let is_left = f.or(Type::I1, is_left_m, fb_left);
+
+            let move_ul = f.select(Type::I32, is_up, Value::i32(2), Value::i32(3));
+            let move_any = f.select(Type::I32, is_diag, one, move_ul);
+            let code = f.select(Type::I32, active, move_any, zero);
+            f.output(Type::I32, code);
+
+            let dec_i = f.or(Type::I1, is_diag, is_up);
+            let step_i = f.and(Type::I1, active, dec_i);
+            let ni = f.select(Type::I32, step_i, im1, i);
+            let dec_j = f.or(Type::I1, is_diag, is_left);
+            let step_j = f.and(Type::I1, active, dec_j);
+            let nj = f.select(Type::I32, step_j, jm1, j);
+            vec![ni, nj]
+        },
+    );
+    f.free(score);
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "nw",
+        domain: "Bioinformatics",
+        paper_loc: 272,
+        module: mb.finish().expect("nw verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (matrix fill + traceback, same operation order).
+pub fn reference(n: i32) -> Vec<i32> {
+    let mut input = InputStream::new(0x5E05);
+    let s1 = input.i32s(n as usize, 4);
+    let s2 = input.i32s(n as usize, 4);
+    let dim = (n + 1) as usize;
+    let mut score = vec![0i32; dim * dim];
+    for i in 0..dim as i32 {
+        score[(i as usize) * dim] = -i * PENALTY;
+        score[i as usize] = -i * PENALTY;
+    }
+    for i in 1..dim {
+        for j in 1..dim {
+            let sim = if s1[i - 1] == s2[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let best = (score[(i - 1) * dim + (j - 1)] + sim)
+                .max(score[(i - 1) * dim + j] - PENALTY)
+                .max(score[i * dim + (j - 1)] - PENALTY);
+            score[i * dim + j] = best;
+        }
+    }
+    let mut out: Vec<i32> = score[(dim - 1) * dim..].to_vec();
+    // Traceback, mirroring the IR's select-guarded fixed-step loop.
+    let (mut i, mut j) = (n, n);
+    for _ in 0..2 * n {
+        let active = i > 0 || j > 0;
+        let im1 = if i > 0 { i - 1 } else { 0 } as usize;
+        let jm1 = if j > 0 { j - 1 } else { 0 } as usize;
+        let cur = score[i as usize * dim + j as usize];
+        let diag = score[im1 * dim + jm1];
+        let up = score[im1 * dim + j as usize];
+        let left = score[i as usize * dim + jm1];
+        let sim = if s1[im1] == s2[jm1] { MATCH } else { MISMATCH };
+        let is_diag = i > 0 && j > 0 && cur == diag + sim;
+        let is_up_m = !is_diag && i > 0 && cur == up - PENALTY;
+        let is_left_m = !is_diag && !is_up_m && j > 0 && cur == left - PENALTY;
+        let none = !is_diag && !is_up_m && !is_left_m;
+        let fb_up = none && i > 0;
+        let is_up = is_up_m || fb_up;
+        let is_left = is_left_m || (none && !fb_up);
+        let code = if !active {
+            0
+        } else if is_diag {
+            1
+        } else if is_up {
+            2
+        } else {
+            3
+        };
+        out.push(code);
+        if active && (is_diag || is_up) {
+            i -= 1;
+        }
+        if active && (is_diag || is_left) {
+            j -= 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Scale::Tiny);
+        let got: Vec<i32> = w.run().outputs.iter().map(|b| *b as u32 as i32).collect();
+        assert_eq!(got, reference(8));
+    }
+
+    #[test]
+    fn traceback_reaches_origin_and_has_valid_moves() {
+        let n = 12;
+        let got: Vec<i32> = build_n(n)
+            .run()
+            .outputs
+            .iter()
+            .map(|b| *b as u32 as i32)
+            .collect();
+        assert_eq!(got.len(), (n + 1 + 2 * n) as usize);
+        let moves = &got[(n + 1) as usize..];
+        let (mut i, mut j) = (n, n);
+        for m in moves {
+            match m {
+                0 => assert!(i == 0 && j == 0, "done only at the origin"),
+                1 => {
+                    i -= 1;
+                    j -= 1;
+                }
+                2 => i -= 1,
+                3 => j -= 1,
+                other => panic!("invalid move code {other}"),
+            }
+            assert!(i >= 0 && j >= 0);
+        }
+        assert_eq!((i, j), (0, 0), "traceback must consume both sequences");
+    }
+}

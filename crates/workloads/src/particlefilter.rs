@@ -1,0 +1,283 @@
+//! Particle Filter (`particlefilter`) — Rodinia's sequential Monte-Carlo
+//! tracker (Table IV: 602 LOC, Medical Imaging).
+//!
+//! Per video frame: propagate particles with precomputed noise, weight by a
+//! Gaussian likelihood of the observed object position, normalize, output
+//! the state estimate, and systematically resample. Estimates are output
+//! per frame.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FcmpPred, ModuleBuilder, Type, Value};
+
+const SIGMA2: f64 = 2.0;
+
+/// Build `particlefilter` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (particles, frames) = scale.pick((8, 2), (16, 3), (32, 4));
+    build_pf(particles, frames)
+}
+
+fn make_noise(particles: i32, frames: i32) -> (Vec<f64>, Vec<f64>) {
+    let mut input = InputStream::new(0xF117E2);
+    let nx = input.f64s((particles * frames) as usize, -1.0, 1.0);
+    let ny = input.f64s((particles * frames) as usize, -1.0, 1.0);
+    (nx, ny)
+}
+
+fn obj_pos(frame: f64) -> (f64, f64) {
+    (10.0 + frame, 20.0 - 2.0 * frame)
+}
+
+/// Build `particlefilter` for explicit particle/frame counts.
+pub fn build_pf(particles: i32, frames: i32) -> Workload {
+    let (noise_x, noise_y) = make_noise(particles, frames);
+    let n = particles;
+
+    let mut mb = ModuleBuilder::new("particlefilter");
+    let gnx = mb.global_f64s("noise_x", &noise_x);
+    let gny = mb.global_f64s("noise_y", &noise_y);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pnx = f.gep(Value::Global(gnx), Value::i32(0), 1);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pny = f.gep(Value::Global(gny), Value::i32(0), 1);
+    let nn = Value::i32(n);
+    let fbytes = Value::i64(8 * i64::from(n));
+
+    let x = f.malloc(fbytes);
+    let y = f.malloc(fbytes);
+    let w = f.malloc(fbytes);
+    let cdf = f.malloc(fbytes);
+    let xn = f.malloc(fbytes);
+    let yn = f.malloc(fbytes);
+    let inv_n = Value::f64(1.0 / f64::from(n));
+
+    for_simple(&mut f, 0, nn, |f, p| {
+        let xs = f.gep(x, p, 8);
+        f.store(Type::F64, Value::f64(10.0), xs);
+        let ys = f.gep(y, p, 8);
+        f.store(Type::F64, Value::f64(20.0), ys);
+        let ws = f.gep(w, p, 8);
+        f.store(Type::F64, inv_n, ws);
+    });
+
+    for_simple(&mut f, 1, Value::i32(frames + 1), |f, frame| {
+        let framef = f.sitofp(Type::I32, Type::F64, frame);
+        let ox = f.fadd(Type::F64, Value::f64(10.0), framef);
+        let two_f = f.fmul(Type::F64, Value::f64(2.0), framef);
+        let oy = f.fsub(Type::F64, Value::f64(20.0), two_f);
+        let fm1 = f.sub(Type::I32, frame, Value::i32(1));
+        let nbase = f.mul(Type::I32, fm1, nn);
+
+        // Propagate + weight.
+        let wsum = for_range(
+            f,
+            Value::i32(0),
+            nn,
+            &[(Type::F64, Value::f64(0.0))],
+            |f, p, acc| {
+                let ni = f.add(Type::I32, nbase, p);
+                let nxs = f.gep(pnx, ni, 8);
+                let nx = f.load(Type::F64, nxs);
+                let nys = f.gep(pny, ni, 8);
+                let ny = f.load(Type::F64, nys);
+                let xs = f.gep(x, p, 8);
+                let xv = f.load(Type::F64, xs);
+                let x1 = f.fadd(Type::F64, xv, Value::f64(1.0));
+                let x2 = f.fadd(Type::F64, x1, nx);
+                f.store(Type::F64, x2, xs);
+                let ys = f.gep(y, p, 8);
+                let yv = f.load(Type::F64, ys);
+                let y1 = f.fsub(Type::F64, yv, Value::f64(2.0));
+                let y2 = f.fadd(Type::F64, y1, ny);
+                f.store(Type::F64, y2, ys);
+
+                let dx = f.fsub(Type::F64, x2, ox);
+                let dy = f.fsub(Type::F64, y2, oy);
+                let dx2 = f.fmul(Type::F64, dx, dx);
+                let dy2 = f.fmul(Type::F64, dy, dy);
+                let d2 = f.fadd(Type::F64, dx2, dy2);
+                let scaled = f.fdiv(Type::F64, d2, Value::f64(2.0 * SIGMA2));
+                let neg = f.fneg(Type::F64, scaled);
+                let lik = f.exp(Type::F64, neg);
+                let ws = f.gep(w, p, 8);
+                let wv = f.load(Type::F64, ws);
+                let w2 = f.fmul(Type::F64, wv, lik);
+                f.store(Type::F64, w2, ws);
+                vec![f.fadd(Type::F64, acc[0], w2)]
+            },
+        );
+
+        // Normalize, estimate, and build the CDF.
+        let est = for_range(
+            f,
+            Value::i32(0),
+            nn,
+            &[
+                (Type::F64, Value::f64(0.0)), // xe
+                (Type::F64, Value::f64(0.0)), // ye
+                (Type::F64, Value::f64(0.0)), // running cdf
+            ],
+            |f, p, acc| {
+                let ws = f.gep(w, p, 8);
+                let wv = f.load(Type::F64, ws);
+                let norm = f.fdiv(Type::F64, wv, wsum[0]);
+                f.store(Type::F64, norm, ws);
+                let xs = f.gep(x, p, 8);
+                let xv = f.load(Type::F64, xs);
+                let ys = f.gep(y, p, 8);
+                let yv = f.load(Type::F64, ys);
+                let wx = f.fmul(Type::F64, norm, xv);
+                let xe = f.fadd(Type::F64, acc[0], wx);
+                let wy = f.fmul(Type::F64, norm, yv);
+                let ye = f.fadd(Type::F64, acc[1], wy);
+                let run = f.fadd(Type::F64, acc[2], norm);
+                let cs = f.gep(cdf, p, 8);
+                f.store(Type::F64, run, cs);
+                vec![xe, ye, run]
+            },
+        );
+        f.output(Type::F64, est[0]);
+        f.output(Type::F64, est[1]);
+
+        // Systematic resampling with u0 = 1/(2N).
+        for_simple(f, 0, nn, |f, p| {
+            let pf = f.sitofp(Type::I32, Type::F64, p);
+            let pn = f.fmul(Type::F64, pf, inv_n);
+            let u = f.fadd(Type::F64, Value::f64(0.5 / f64::from(n)), pn);
+            // Linear scan for the first cdf[k] ≥ u (select-based, no branch).
+            let found = for_range(
+                f,
+                Value::i32(0),
+                nn,
+                &[(Type::I32, Value::i32(0)), (Type::I1, Value::bool(false))],
+                |f, k, acc| {
+                    let cs = f.gep(cdf, k, 8);
+                    let cv = f.load(Type::F64, cs);
+                    let ge = f.fcmp(FcmpPred::Oge, Type::F64, cv, u);
+                    let not_found = f.xor(Type::I1, acc[1], Value::bool(true));
+                    let take = f.and(Type::I1, ge, not_found);
+                    let idx = f.select(Type::I32, take, k, acc[0]);
+                    let nf = f.or(Type::I1, acc[1], ge);
+                    vec![idx, nf]
+                },
+            );
+            // Degenerate tail (u beyond cdf[n−1] due to rounding): keep last.
+            let last = Value::i32(n - 1);
+            let idx = f.select(Type::I32, found[1], found[0], last);
+            let sx = f.gep(x, idx, 8);
+            let vx = f.load(Type::F64, sx);
+            let dx = f.gep(xn, p, 8);
+            f.store(Type::F64, vx, dx);
+            let sy = f.gep(y, idx, 8);
+            let vy = f.load(Type::F64, sy);
+            let dy = f.gep(yn, p, 8);
+            f.store(Type::F64, vy, dy);
+        });
+        for_simple(f, 0, nn, |f, p| {
+            let sx = f.gep(xn, p, 8);
+            let vx = f.load(Type::F64, sx);
+            let dx = f.gep(x, p, 8);
+            f.store(Type::F64, vx, dx);
+            let sy = f.gep(yn, p, 8);
+            let vy = f.load(Type::F64, sy);
+            let dy = f.gep(y, p, 8);
+            f.store(Type::F64, vy, dy);
+            let ws = f.gep(w, p, 8);
+            f.store(Type::F64, inv_n, ws);
+        });
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "particlefilter",
+        domain: "Medical Imaging",
+        paper_loc: 602,
+        module: mb.finish().expect("particlefilter verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(particles: i32, frames: i32) -> Vec<f64> {
+    let (noise_x, noise_y) = make_noise(particles, frames);
+    let n = particles as usize;
+    let inv_n = 1.0 / f64::from(particles);
+    let mut x = vec![10.0f64; n];
+    let mut y = vec![20.0f64; n];
+    let mut w = vec![inv_n; n];
+    let mut cdf = vec![0.0f64; n];
+    let mut out = Vec::new();
+    for frame in 1..=frames {
+        let (ox, oy) = obj_pos(f64::from(frame));
+        let nbase = ((frame - 1) * particles) as usize;
+        let mut wsum = 0.0;
+        for p in 0..n {
+            x[p] = (x[p] + 1.0) + noise_x[nbase + p];
+            y[p] = (y[p] - 2.0) + noise_y[nbase + p];
+            let dx = x[p] - ox;
+            let dy = y[p] - oy;
+            let lik = (-((dx * dx + dy * dy) / (2.0 * SIGMA2))).exp();
+            w[p] *= lik;
+            wsum += w[p];
+        }
+        let mut xe = 0.0;
+        let mut ye = 0.0;
+        let mut run = 0.0;
+        for p in 0..n {
+            w[p] /= wsum;
+            xe += w[p] * x[p];
+            ye += w[p] * y[p];
+            run += w[p];
+            cdf[p] = run;
+        }
+        out.push(xe);
+        out.push(ye);
+        let mut xn = vec![0.0f64; n];
+        let mut yn = vec![0.0f64; n];
+        for p in 0..n {
+            let u = 0.5 / f64::from(particles) + (p as f64) * inv_n;
+            let mut idx = n - 1;
+            for (k, c) in cdf.iter().enumerate() {
+                if *c >= u {
+                    idx = k;
+                    break;
+                }
+            }
+            xn[p] = x[idx];
+            yn[p] = y[idx];
+        }
+        x.copy_from_slice(&xn);
+        y.copy_from_slice(&yn);
+        w.fill(inv_n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let expected: Vec<u64> = reference(8, 2).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn estimates_track_object() {
+        let out = reference(32, 4);
+        // Final frame estimate should be near the object position.
+        let (ox, oy) = obj_pos(4.0);
+        let xe = out[out.len() - 2];
+        let ye = out[out.len() - 1];
+        assert!((xe - ox).abs() < 3.0, "xe {xe} vs {ox}");
+        assert!((ye - oy).abs() < 3.0, "ye {ye} vs {oy}");
+    }
+}

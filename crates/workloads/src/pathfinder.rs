@@ -1,0 +1,151 @@
+//! PathFinder (`pathfinder`) — Rodinia's grid dynamic-programming kernel
+//! (Table IV: 135 LOC, Grid Traversal). This is the benchmark the paper's
+//! running example (Fig. 3) is drawn from.
+//!
+//! Each row's cost is the cell weight plus the cheapest of the three
+//! reachable cells of the previous row; the final row of costs is output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{IcmpPred, ModuleBuilder, Type, Value};
+
+/// Build `pathfinder` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    build_variant(scale, 0)
+}
+
+/// Alternate-input build (identical static structure; see `mm`).
+pub fn build_variant(scale: Scale, variant: u64) -> Workload {
+    let (rows, cols) = scale.pick((6, 12), (10, 30), (16, 64));
+    build_grid_variant(rows, cols, variant)
+}
+
+/// Build `pathfinder` for an explicit grid.
+pub fn build_grid(rows: i32, cols: i32) -> Workload {
+    build_grid_variant(rows, cols, 0)
+}
+
+/// [`build_grid`] with an input-data variant.
+pub fn build_grid_variant(rows: i32, cols: i32, variant: u64) -> Workload {
+    let mut input = InputStream::new(0xBAD9E ^ variant.wrapping_mul(0x9E37_79B9));
+    let wall = input.i32s((rows * cols) as usize, 10);
+
+    let mut mb = ModuleBuilder::new("pathfinder");
+    let gwall = mb.global_i32s("wall", &wall);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pwall = f.gep(Value::Global(gwall), Value::i32(0), 1);
+    let ncols = Value::i32(cols);
+    let src0 = f.malloc(Value::i64(4 * i64::from(cols)));
+    let dst0 = f.malloc(Value::i64(4 * i64::from(cols)));
+
+    // src = wall[0]
+    for_simple(&mut f, 0, ncols, |f, j| {
+        let w = f.gep(pwall, j, 4);
+        let v = f.load(Type::I32, w);
+        let s = f.gep(src0, j, 4);
+        f.store(Type::I32, v, s);
+    });
+
+    // Row sweep with src/dst pointer swap carried through the loop.
+    let finals = for_range(
+        &mut f,
+        Value::i32(1),
+        Value::i32(rows),
+        &[(Type::Ptr, src0), (Type::Ptr, dst0)],
+        |f, i, bufs| {
+            let (src, dst) = (bufs[0], bufs[1]);
+            for_simple(f, 0, ncols, |f, j| {
+                // Clamp neighbour columns with selects (no extra blocks).
+                let jm1 = f.sub(Type::I32, j, Value::i32(1));
+                let has_left = f.icmp(IcmpPred::Sgt, Type::I32, j, Value::i32(0));
+                let jl = f.select(Type::I32, has_left, jm1, j);
+                let jp1 = f.add(Type::I32, j, Value::i32(1));
+                let last = Value::i32(cols - 1);
+                let has_right = f.icmp(IcmpPred::Slt, Type::I32, j, last);
+                let jr = f.select(Type::I32, has_right, jp1, j);
+
+                let lc = f.gep(src, jl, 4);
+                let left = f.load(Type::I32, lc);
+                let cc = f.gep(src, j, 4);
+                let center = f.load(Type::I32, cc);
+                let rc = f.gep(src, jr, 4);
+                let right = f.load(Type::I32, rc);
+
+                let lt = f.icmp(IcmpPred::Slt, Type::I32, left, center);
+                let m1 = f.select(Type::I32, lt, left, center);
+                let rt = f.icmp(IcmpPred::Slt, Type::I32, right, m1);
+                let best = f.select(Type::I32, rt, right, m1);
+
+                let rowb = f.mul(Type::I32, i, Value::i32(cols));
+                let wi = f.add(Type::I32, rowb, j);
+                let wslot = f.gep(pwall, wi, 4);
+                let w = f.load(Type::I32, wslot);
+                let cost = f.add(Type::I32, w, best);
+                let dslot = f.gep(dst, j, 4);
+                f.store(Type::I32, cost, dslot);
+            });
+            vec![dst, src] // swap
+        },
+    );
+
+    // Output the final cost row (lives in finals[0] after the last swap).
+    for_simple(&mut f, 0, ncols, |f, j| {
+        let slot = f.gep(finals[0], j, 4);
+        let v = f.load(Type::I32, slot);
+        f.output(Type::I32, v);
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "pathfinder",
+        domain: "Grid Traversal",
+        paper_loc: 135,
+        module: mb.finish().expect("pathfinder verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference.
+pub fn reference(rows: i32, cols: i32) -> Vec<i32> {
+    let mut input = InputStream::new(0xBAD9E);
+    let wall = input.i32s((rows * cols) as usize, 10);
+    let cols = cols as usize;
+    let mut src: Vec<i32> = wall[..cols].to_vec();
+    let mut dst = vec![0i32; cols];
+    for i in 1..rows as usize {
+        for j in 0..cols {
+            let jl = if j > 0 { j - 1 } else { j };
+            let jr = if j < cols - 1 { j + 1 } else { j };
+            let best = src[jl].min(src[j]).min(src[jr]);
+            dst[j] = wall[i * cols + j] + best;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let w = build(Scale::Tiny);
+        let r = w.run();
+        let expected = reference(6, 12);
+        let got: Vec<i32> = r.outputs.iter().map(|b| *b as u32 as i32).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn odd_and_even_row_counts_swap_correctly() {
+        for rows in [2, 3, 5, 8] {
+            let w = build_grid(rows, 9);
+            let got: Vec<i32> = w.run().outputs.iter().map(|b| *b as u32 as i32).collect();
+            assert_eq!(got, reference(rows, 9), "rows = {rows}");
+        }
+    }
+}

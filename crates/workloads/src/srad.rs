@@ -1,0 +1,328 @@
+//! Speckle Reducing Anisotropic Diffusion (`srad`) — Rodinia's image
+//! despeckling kernel (Table IV: 288 LOC, Image Processing).
+//!
+//! Per iteration: compute the speckle statistics (`q0²`) over the ROI
+//! sub-window (the top-left quadrant, as Rodinia's `r1 r2 c1 c2` arguments
+//! select a sub-rectangle), per-cell directional derivatives and diffusion
+//! coefficient `c`, then apply the divergence update `J += λ/4 · D`. The
+//! final image is output.
+
+use crate::dsl::{for_range, for_simple, InputStream};
+use crate::workload::{Scale, Workload};
+use epvf_ir::{FcmpPred, FunctionBuilder, IcmpPred, ModuleBuilder, Type, Value};
+
+const LAMBDA: f64 = 0.5;
+
+/// Build `srad` at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (dim, iters) = scale.pick((6, 1), (8, 2), (10, 4));
+    build_grid(dim, iters)
+}
+
+fn make_image(dim: i32) -> Vec<f64> {
+    let mut input = InputStream::new(0x5AD);
+    input.f64s((dim * dim) as usize, 0.0, 1.0)
+}
+
+fn clamp_idx(f: &mut FunctionBuilder<'_>, x: Value, lo: i32, hi: i32) -> Value {
+    let too_low = f.icmp(IcmpPred::Slt, Type::I32, x, Value::i32(lo));
+    let cl = f.select(Type::I32, too_low, Value::i32(lo), x);
+    let too_high = f.icmp(IcmpPred::Sgt, Type::I32, cl, Value::i32(hi));
+    f.select(Type::I32, too_high, Value::i32(hi), cl)
+}
+
+/// Build `srad` for an explicit grid and iteration count.
+pub fn build_grid(dim: i32, iters: i32) -> Workload {
+    let image = make_image(dim);
+
+    let mut mb = ModuleBuilder::new("srad");
+    let gimg = mb.global_f64s("image", &image);
+    let mut f = mb.function("main", vec![], None);
+    // Materialize the global's base address into a register, as a
+    // compiled program would.
+    let pimg = f.gep(Value::Global(gimg), Value::i32(0), 1);
+    let nd = Value::i32(dim);
+    let cells = Value::i32(dim * dim);
+    let fsize = 8 * i64::from(dim) * i64::from(dim);
+
+    let j = f.malloc(Value::i64(fsize));
+    let dn = f.malloc(Value::i64(fsize));
+    let ds = f.malloc(Value::i64(fsize));
+    let dw = f.malloc(Value::i64(fsize));
+    let de = f.malloc(Value::i64(fsize));
+    let cbuf = f.malloc(Value::i64(fsize));
+
+    // J = exp(image)
+    for_simple(&mut f, 0, cells, |f, i| {
+        let s = f.gep(pimg, i, 8);
+        let v = f.load(Type::F64, s);
+        let e = f.exp(Type::F64, v);
+        let d = f.gep(j, i, 8);
+        f.store(Type::F64, e, d);
+    });
+
+    // ROI: the top-left quadrant (Rodinia's r1/r2/c1/c2 sub-rectangle).
+    let roi = (dim / 2).max(1);
+    for_simple(&mut f, 0, Value::i32(iters), |f, _it| {
+        // Speckle statistics over the ROI.
+        let sums = for_range(
+            f,
+            Value::i32(0),
+            Value::i32(roi),
+            &[(Type::F64, Value::f64(0.0)), (Type::F64, Value::f64(0.0))],
+            |f, r, acc| {
+                let inner = for_range(
+                    f,
+                    Value::i32(0),
+                    Value::i32(roi),
+                    &[(Type::F64, acc[0]), (Type::F64, acc[1])],
+                    |f, c, acc2| {
+                        let rb = f.mul(Type::I32, r, nd);
+                        let i = f.add(Type::I32, rb, c);
+                        let s = f.gep(j, i, 8);
+                        let v = f.load(Type::F64, s);
+                        let sum = f.fadd(Type::F64, acc2[0], v);
+                        let v2 = f.fmul(Type::F64, v, v);
+                        let sum2 = f.fadd(Type::F64, acc2[1], v2);
+                        vec![sum, sum2]
+                    },
+                );
+                vec![inner[0], inner[1]]
+            },
+        );
+        let count = Value::f64(f64::from(roi * roi));
+        let mean = f.fdiv(Type::F64, sums[0], count);
+        let ms = f.fdiv(Type::F64, sums[1], count);
+        let mean2 = f.fmul(Type::F64, mean, mean);
+        let var = f.fsub(Type::F64, ms, mean2);
+        let q0sqr = f.fdiv(Type::F64, var, mean2);
+
+        // Pass 1: derivatives and diffusion coefficient.
+        for_simple(f, 0, nd, |f, r| {
+            for_simple(f, 0, nd, |f, c| {
+                let rb = f.mul(Type::I32, r, nd);
+                let idx = f.add(Type::I32, rb, c);
+                let at = |f: &mut FunctionBuilder<'_>, row: Value, col: Value| {
+                    let rb = f.mul(Type::I32, row, nd);
+                    let i = f.add(Type::I32, rb, col);
+                    let s = f.gep(j, i, 8);
+                    f.load(Type::F64, s)
+                };
+                let jc = at(f, r, c);
+                let rm = f.sub(Type::I32, r, Value::i32(1));
+                let rn = clamp_idx(f, rm, 0, dim - 1);
+                let rp = f.add(Type::I32, r, Value::i32(1));
+                let rs = clamp_idx(f, rp, 0, dim - 1);
+                let cm = f.sub(Type::I32, c, Value::i32(1));
+                let cw = clamp_idx(f, cm, 0, dim - 1);
+                let cp = f.add(Type::I32, c, Value::i32(1));
+                let ce = clamp_idx(f, cp, 0, dim - 1);
+
+                let jn = at(f, rn, c);
+                let js = at(f, rs, c);
+                let jw = at(f, r, cw);
+                let je = at(f, r, ce);
+                let vdn = f.fsub(Type::F64, jn, jc);
+                let vds = f.fsub(Type::F64, js, jc);
+                let vdw = f.fsub(Type::F64, jw, jc);
+                let vde = f.fsub(Type::F64, je, jc);
+
+                // G² = (dN²+dS²+dW²+dE²)/Jc² ;  L = (dN+dS+dW+dE)/Jc
+                let sq = |f: &mut FunctionBuilder<'_>, v: Value| f.fmul(Type::F64, v, v);
+                let n2 = sq(f, vdn);
+                let s2 = sq(f, vds);
+                let w2 = sq(f, vdw);
+                let e2 = sq(f, vde);
+                let g_a = f.fadd(Type::F64, n2, s2);
+                let g_b = f.fadd(Type::F64, g_a, w2);
+                let g_c = f.fadd(Type::F64, g_b, e2);
+                let jc2 = f.fmul(Type::F64, jc, jc);
+                let g2 = f.fdiv(Type::F64, g_c, jc2);
+                let l_a = f.fadd(Type::F64, vdn, vds);
+                let l_b = f.fadd(Type::F64, l_a, vdw);
+                let l_c = f.fadd(Type::F64, l_b, vde);
+                let l = f.fdiv(Type::F64, l_c, jc);
+
+                // num = G²/2 − L²/16 ; den = (1 + L/4)² ; qsqr = num/den
+                let half_g2 = f.fmul(Type::F64, g2, Value::f64(0.5));
+                let l2 = f.fmul(Type::F64, l, l);
+                let l2_16 = f.fmul(Type::F64, l2, Value::f64(1.0 / 16.0));
+                let num = f.fsub(Type::F64, half_g2, l2_16);
+                let l4 = f.fmul(Type::F64, l, Value::f64(0.25));
+                let dpl = f.fadd(Type::F64, Value::f64(1.0), l4);
+                let den = f.fmul(Type::F64, dpl, dpl);
+                let qsqr = f.fdiv(Type::F64, num, den);
+
+                // c = 1 / (1 + (q² − q0²)/(q0²(1 + q0²))), clamped to [0,1]
+                let dq = f.fsub(Type::F64, qsqr, q0sqr);
+                let q0p1 = f.fadd(Type::F64, Value::f64(1.0), q0sqr);
+                let denom = f.fmul(Type::F64, q0sqr, q0p1);
+                let t = f.fdiv(Type::F64, dq, denom);
+                let onept = f.fadd(Type::F64, Value::f64(1.0), t);
+                let cval = f.fdiv(Type::F64, Value::f64(1.0), onept);
+                let lo = f.fcmp(FcmpPred::Olt, Type::F64, cval, Value::f64(0.0));
+                let cl = f.select(Type::F64, lo, Value::f64(0.0), cval);
+                let hi = f.fcmp(FcmpPred::Ogt, Type::F64, cl, Value::f64(1.0));
+                let cc = f.select(Type::F64, hi, Value::f64(1.0), cl);
+
+                let store_at = |f: &mut FunctionBuilder<'_>, buf: Value, v: Value| {
+                    let s = f.gep(buf, idx, 8);
+                    f.store(Type::F64, v, s);
+                };
+                store_at(f, dn, vdn);
+                store_at(f, ds, vds);
+                store_at(f, dw, vdw);
+                store_at(f, de, vde);
+                store_at(f, cbuf, cc);
+            });
+        });
+
+        // Pass 2: divergence update.
+        for_simple(f, 0, nd, |f, r| {
+            for_simple(f, 0, nd, |f, c| {
+                let rb = f.mul(Type::I32, r, nd);
+                let idx = f.add(Type::I32, rb, c);
+                let rp = f.add(Type::I32, r, Value::i32(1));
+                let rs = clamp_idx(f, rp, 0, dim - 1);
+                let cp = f.add(Type::I32, c, Value::i32(1));
+                let ce = clamp_idx(f, cp, 0, dim - 1);
+
+                let load_at = |f: &mut FunctionBuilder<'_>, buf: Value, i: Value| {
+                    let s = f.gep(buf, i, 8);
+                    f.load(Type::F64, s)
+                };
+                let cn = load_at(f, cbuf, idx);
+                let rsb = f.mul(Type::I32, rs, nd);
+                let sidx = f.add(Type::I32, rsb, c);
+                let cs = load_at(f, cbuf, sidx);
+                let cw = cn;
+                let eidx = f.add(Type::I32, rb, ce);
+                let ceast = load_at(f, cbuf, eidx);
+
+                let vdn = load_at(f, dn, idx);
+                let vds = load_at(f, ds, idx);
+                let vdw = load_at(f, dw, idx);
+                let vde = load_at(f, de, idx);
+
+                let t1 = f.fmul(Type::F64, cn, vdn);
+                let t2 = f.fmul(Type::F64, cs, vds);
+                let t3 = f.fmul(Type::F64, cw, vdw);
+                let t4 = f.fmul(Type::F64, ceast, vde);
+                let d_a = f.fadd(Type::F64, t1, t2);
+                let d_b = f.fadd(Type::F64, d_a, t3);
+                let dsum = f.fadd(Type::F64, d_b, t4);
+
+                let jslot = f.gep(j, idx, 8);
+                let jv = f.load(Type::F64, jslot);
+                let upd = f.fmul(Type::F64, dsum, Value::f64(0.25 * LAMBDA));
+                let newj = f.fadd(Type::F64, jv, upd);
+                f.store(Type::F64, newj, jslot);
+            });
+        });
+    });
+
+    for_simple(&mut f, 0, cells, |f, i| {
+        let s = f.gep(j, i, 8);
+        let v = f.load(Type::F64, s);
+        f.output(Type::F64, v);
+    });
+    f.ret(None);
+    f.finish();
+
+    Workload {
+        name: "srad",
+        domain: "Image Processing",
+        paper_loc: 288,
+        module: mb.finish().expect("srad verifies"),
+        args: vec![],
+    }
+}
+
+/// Rust reference (same operation order).
+pub fn reference(dim: i32, iters: i32) -> Vec<f64> {
+    let image = make_image(dim);
+    let n = dim as usize;
+    let mut j: Vec<f64> = image.iter().map(|v| v.exp()).collect();
+    let clamp = |x: i32| x.clamp(0, dim - 1) as usize;
+    let mut dn = vec![0.0; n * n];
+    let mut ds = vec![0.0; n * n];
+    let mut dw = vec![0.0; n * n];
+    let mut de = vec![0.0; n * n];
+    let mut cb = vec![0.0; n * n];
+    let roi = (dim / 2).max(1) as usize;
+    for _ in 0..iters {
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for r in 0..roi {
+            for c in 0..roi {
+                let v = j[r * n + c];
+                sum += v;
+                sum2 += v * v;
+            }
+        }
+        let count = f64::from((roi * roi) as i32);
+        let mean = sum / count;
+        let var = sum2 / count - mean * mean;
+        let q0sqr = var / (mean * mean);
+        for r in 0..n {
+            for c in 0..n {
+                let idx = r * n + c;
+                let jc = j[idx];
+                let jn = j[clamp(r as i32 - 1) * n + c];
+                let js = j[clamp(r as i32 + 1) * n + c];
+                let jw = j[r * n + clamp(c as i32 - 1)];
+                let je = j[r * n + clamp(c as i32 + 1)];
+                let (vdn, vds, vdw, vde) = (jn - jc, js - jc, jw - jc, je - jc);
+                let g2 = (((vdn * vdn + vds * vds) + vdw * vdw) + vde * vde) / (jc * jc);
+                let l = ((vdn + vds) + vdw + vde) / jc;
+                let num = g2 * 0.5 - (l * l) * (1.0 / 16.0);
+                let dpl = 1.0 + l * 0.25;
+                let qsqr = num / (dpl * dpl);
+                let t = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+                let cval = 1.0 / (1.0 + t);
+                let cc = cval.clamp(0.0, 1.0);
+                dn[idx] = vdn;
+                ds[idx] = vds;
+                dw[idx] = vdw;
+                de[idx] = vde;
+                cb[idx] = cc;
+            }
+        }
+        for r in 0..n {
+            for c in 0..n {
+                let idx = r * n + c;
+                let cn = cb[idx];
+                let cs = cb[clamp(r as i32 + 1) * n + c];
+                let cw = cn;
+                let ce = cb[r * n + clamp(c as i32 + 1)];
+                let dsum = ((cn * dn[idx] + cs * ds[idx]) + cw * dw[idx]) + ce * de[idx];
+                j[idx] += dsum * (0.25 * LAMBDA);
+            }
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_bit_exactly() {
+        let w = build(Scale::Tiny);
+        let got = w.run().outputs;
+        let expected: Vec<u64> = reference(6, 1).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn diffusion_smooths_variance() {
+        let before = make_image(8).iter().map(|v| v.exp()).collect::<Vec<_>>();
+        let after = reference(8, 4);
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&after) < var(&before), "diffusion must reduce variance");
+    }
+}

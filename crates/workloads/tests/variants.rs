@@ -1,0 +1,40 @@
+//! Input variants must keep the static program identical (only global
+//! initializer bytes may differ) so §V protection sets transfer.
+
+use epvf_workloads::{by_name, by_name_variant, Scale};
+
+#[test]
+fn variants_share_static_structure() {
+    for name in ["mm", "pathfinder", "hotspot", "lud", "nw"] {
+        let a = by_name(name, Scale::Tiny).expect("known");
+        let b = by_name_variant(name, Scale::Tiny, 1).expect("variant");
+        assert_eq!(
+            a.module.functions, b.module.functions,
+            "{name}: code identical"
+        );
+        assert_eq!(a.module.n_static_insts, b.module.n_static_insts, "{name}");
+        assert_eq!(a.module.globals.len(), b.module.globals.len(), "{name}");
+        let mut any_data_differs = false;
+        for (ga, gb) in a.module.globals.iter().zip(&b.module.globals) {
+            assert_eq!(ga.size, gb.size, "{name}: global sizes equal");
+            if ga.init != gb.init {
+                any_data_differs = true;
+            }
+        }
+        assert!(
+            any_data_differs,
+            "{name}: variant must actually change the input"
+        );
+        // And the programs behave differently on the different data.
+        assert_ne!(a.run().outputs, b.run().outputs, "{name}");
+    }
+}
+
+#[test]
+fn variant_zero_is_the_default_build() {
+    for name in ["mm", "lud"] {
+        let a = by_name(name, Scale::Tiny).expect("known");
+        let b = by_name_variant(name, Scale::Tiny, 0).expect("variant 0");
+        assert_eq!(a.module, b.module);
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end resilience analysis of one paper benchmark: golden run, ePVF
+//! analysis, fault-injection campaign, and the recall/precision validation
+//! of the crash prediction (paper §IV).
+//!
+//! ```sh
+//! cargo run --release -p epvf-bench --example analyze_benchmark [name]
+//! ```
+//!
+//! `name` defaults to `pathfinder` — the benchmark behind the paper's
+//! running example.
+
+use epvf_core::{analyze, EpvfConfig};
+use epvf_llfi::{precision_study, recall_study, Campaign, CampaignConfig};
+use epvf_workloads::{by_name, Scale, Workload};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pathfinder".to_string());
+    let Some(w) = by_name(&name, Scale::Small) else {
+        eprintln!("unknown benchmark {name}; try pathfinder, mm, nw, lud, hotspot, …");
+        std::process::exit(2);
+    };
+    println!("benchmark      : {} ({})", w.name, w.domain);
+
+    // Golden run + ePVF analysis.
+    let campaign = Campaign::new(
+        &w.module,
+        Workload::ENTRY,
+        &w.args,
+        CampaignConfig::default(),
+    )
+    .expect("workload runs");
+    let trace = campaign.golden().trace.as_ref().expect("traced");
+    println!("dyn IR insts   : {}", trace.len());
+    let result = analyze(&w.module, trace, EpvfConfig::default());
+    let m = &result.metrics;
+    println!(
+        "ACE nodes      : {} of {} DDG nodes",
+        m.ace_nodes, m.ddg_nodes
+    );
+    println!("PVF / ePVF     : {:.3} / {:.3}", m.pvf, m.epvf);
+    println!(
+        "analysis time  : {:.1} ms graph + {:.1} ms models",
+        m.graph_time.as_secs_f64() * 1e3,
+        m.model_time.as_secs_f64() * 1e3
+    );
+
+    // Fault-injection ground truth.
+    let fi = campaign.run(1500, 42);
+    println!(
+        "FI outcomes    : crash {:.1}%  SDC {:.1}%  hang {:.1}%  benign {:.1}%",
+        100.0 * fi.crash_rate(),
+        100.0 * fi.sdc_rate(),
+        100.0 * fi.hang_rate(),
+        100.0 * fi.benign_rate()
+    );
+    let [sf, a, mma, ae] = fi.crash_kind_fractions();
+    println!(
+        "crash classes  : SF {:.1}%  A {:.1}%  MMA {:.1}%  AE {:.1}%",
+        100.0 * sf,
+        100.0 * a,
+        100.0 * mma,
+        100.0 * ae
+    );
+
+    // Model accuracy vs ground truth (paper Figs. 6–7).
+    let recall = recall_study(&fi, &result.crash_map);
+    println!(
+        "recall         : {:.1}%  ({} of {} crashes predicted)",
+        100.0 * recall.recall(),
+        recall.true_positives,
+        recall.true_positives + recall.false_negatives
+    );
+    let precision = precision_study(&campaign, &result.crash_map, 500, 7);
+    println!(
+        "precision      : {:.1}%  ({} of {} targeted injections crashed)",
+        100.0 * precision.precision(),
+        precision.crashed,
+        precision.injected
+    );
+    println!(
+        "crash rate     : model {:.1}% vs FI {:.1}%",
+        100.0 * m.crash_rate_estimate,
+        100.0 * fi.crash_rate()
+    );
+}

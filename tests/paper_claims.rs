@@ -1,0 +1,194 @@
+//! Statistical regression tests for the paper's headline claims, at
+//! test-friendly scale. Thresholds are looser than the harness outputs so
+//! the suite stays robust to seed changes; `EXPERIMENTS.md` records the
+//! full-scale numbers.
+
+use epvf_core::{analyze, sampled_epvf, CrashModelConfig, EpvfConfig};
+use epvf_llfi::{precision_study, recall_study, Campaign, CampaignConfig};
+use epvf_workloads::{by_name, suite, Scale, Workload};
+
+fn campaign_for(w: &Workload) -> Campaign<'_> {
+    Campaign::new(
+        &w.module,
+        Workload::ENTRY,
+        &w.args,
+        CampaignConfig::default(),
+    )
+    .expect("workload runs")
+}
+
+/// Table II: segmentation faults dominate the crash classes.
+#[test]
+fn segfaults_dominate_crash_classes() {
+    for name in ["pathfinder", "mm", "bfs"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let fi = campaign_for(&w).run(250, 11);
+        let [sf, ..] = fi.crash_kind_fractions();
+        assert!(sf > 0.7, "{name}: SF share {sf} (paper: ≥96%)");
+    }
+}
+
+/// Fig. 6: high recall of crash prediction.
+#[test]
+fn crash_prediction_recall_is_high() {
+    for name in ["pathfinder", "nw"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let campaign = campaign_for(&w);
+        let trace = campaign.golden().trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let fi = campaign.run(300, 13);
+        let recall = recall_study(&fi, &res.crash_map).recall();
+        assert!(recall > 0.80, "{name}: recall {recall} (paper: 85–92%)");
+    }
+}
+
+/// Fig. 7: high precision of crash prediction.
+#[test]
+fn crash_prediction_precision_is_high() {
+    for name in ["pathfinder", "mm"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let campaign = campaign_for(&w);
+        let trace = campaign.golden().trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let p = precision_study(&campaign, &res.crash_map, 200, 17);
+        assert!(
+            p.precision() > 0.75,
+            "{name}: precision {} (paper: 86–98%)",
+            p.precision()
+        );
+    }
+}
+
+/// Fig. 8: the analytic crash-rate estimate lands near the measured rate.
+#[test]
+fn crash_rate_estimate_tracks_fault_injection() {
+    for name in ["pathfinder", "mm", "nw"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let campaign = campaign_for(&w);
+        let trace = campaign.golden().trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let fi = campaign.run(400, 19);
+        let est = res.metrics.crash_rate_estimate;
+        let measured = fi.crash_rate();
+        assert!(
+            (est - measured).abs() < 0.12,
+            "{name}: estimate {est} vs measured {measured}"
+        );
+    }
+}
+
+/// Fig. 9: SDC rate ≤ ePVF ≤ PVF, and ePVF is a substantially tighter
+/// upper bound than PVF.
+#[test]
+fn epvf_is_a_tighter_sdc_upper_bound_than_pvf() {
+    for w in suite(Scale::Tiny) {
+        let campaign = campaign_for(&w);
+        let trace = campaign.golden().trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let fi = campaign.run(300, 23);
+        let m = &res.metrics;
+        assert!(m.epvf <= m.pvf, "{}", w.name);
+        assert!(
+            fi.sdc_rate() <= m.epvf + 0.05,
+            "{}: SDC {} must stay below ePVF {}",
+            w.name,
+            fi.sdc_rate(),
+            m.epvf
+        );
+    }
+    // Mean reduction across the suite is substantial (paper: 61%).
+    let reductions: Vec<f64> = suite(Scale::Tiny)
+        .iter()
+        .map(|w| {
+            let g = w.golden();
+            let res = analyze(
+                &w.module,
+                g.trace.as_ref().expect("traced"),
+                EpvfConfig::default(),
+            );
+            1.0 - res.metrics.epvf / res.metrics.pvf
+        })
+        .collect();
+    let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    assert!(mean > 0.25, "mean PVF→ePVF reduction {mean} (paper: 0.61)");
+}
+
+/// Fig. 11: sampling 10% of the ACE graph estimates ePVF accurately for
+/// regular benchmarks.
+#[test]
+fn ace_graph_sampling_extrapolates_for_regular_benchmarks() {
+    for name in ["mm", "hotspot", "srad"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let g = w.golden();
+        let trace = g.trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let est = sampled_epvf(
+            &w.module,
+            trace,
+            &res.ddg,
+            &res.ace,
+            0.10,
+            CrashModelConfig::default(),
+        );
+        assert!(
+            (est.extrapolated_epvf - res.metrics.epvf).abs() < 0.08,
+            "{name}: extrapolated {} vs full {}",
+            est.extrapolated_epvf,
+            res.metrics.epvf
+        );
+    }
+}
+
+/// Fig. 12: per-instruction PVF clusters at 1 (no discriminative power);
+/// ePVF spreads across the range.
+#[test]
+fn per_instruction_pvf_spikes_and_epvf_spreads() {
+    use epvf_core::per_instruction_scores;
+    for name in ["nw", "lud"] {
+        let w = by_name(name, Scale::Tiny).expect("known");
+        let g = w.golden();
+        let trace = g.trace.as_ref().expect("traced");
+        let res = analyze(&w.module, trace, EpvfConfig::default());
+        let scores = per_instruction_scores(&w.module, trace, &res.ddg, &res.ace, &res.crash_map);
+        let n = scores.len() as f64;
+        let pvf_spike = scores.iter().filter(|s| s.pvf > 0.95).count() as f64 / n;
+        let epvf_spike = scores.iter().filter(|s| s.epvf > 0.95).count() as f64 / n;
+        assert!(pvf_spike > 0.8, "{name}: PVF spike at 1 ({pvf_spike})");
+        assert!(
+            epvf_spike < 0.6,
+            "{name}: ePVF must spread out ({epvf_spike})"
+        );
+        assert!(
+            scores.iter().any(|s| s.epvf < 0.6),
+            "{name}: some instructions are crash-dominated"
+        );
+    }
+}
+
+/// §III-D: the Linux stack rule makes the crash model strictly more
+/// accurate than the naive boundary model.
+#[test]
+fn stack_rule_never_hurts_and_widens_stack_ranges() {
+    use epvf_core::check_boundary;
+    let w = by_name("lud", Scale::Tiny).expect("known");
+    let g = w.golden();
+    let trace = g.trace.as_ref().expect("traced");
+    for rec in trace {
+        let Some(mem) = rec.mem.as_ref() else {
+            continue;
+        };
+        let full = check_boundary(mem, CrashModelConfig::default());
+        let naive = check_boundary(
+            mem,
+            CrashModelConfig {
+                stack_rule: false,
+                ..CrashModelConfig::default()
+            },
+        );
+        assert!(
+            full.lo <= naive.lo && full.hi >= naive.hi,
+            "full range contains naive"
+        );
+        assert!(full.contains(mem.addr), "golden address always valid");
+    }
+}
