@@ -1,0 +1,74 @@
+//! Ablation: full from-scratch injection replays vs the checkpoint-resume
+//! replay engine, on identical spec lists.
+//!
+//! For each workload, the same seeded campaign is run twice — once with
+//! checkpointing off (every injected run re-executes from dynamic
+//! instruction 0) and once with checkpoint-resume on (runs start from the
+//! nearest preceding golden checkpoint and may end early by rejoining the
+//! golden run) — and the two `CampaignResult`s are asserted identical.
+//! The table reports wall time and speedup.
+
+use epvf_bench::{print_table, HarnessOpts};
+use epvf_llfi::{Campaign, CampaignConfig};
+use epvf_workloads::Workload;
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+    for w in opts.workloads() {
+        let base = opts.campaign_config();
+        let full_cfg = CampaignConfig {
+            ckpt_interval: CampaignConfig::CKPT_OFF,
+            ..base
+        };
+        let ckpt_cfg = if base.ckpt_interval == CampaignConfig::CKPT_OFF {
+            CampaignConfig {
+                ckpt_interval: CampaignConfig::CKPT_AUTO,
+                ..base
+            }
+        } else {
+            base
+        };
+
+        let full = Campaign::new(&w.module, Workload::ENTRY, &w.args, full_cfg).expect("golden");
+        let t0 = Instant::now();
+        let full_res = full.run(opts.runs, opts.seed);
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let ckpt = Campaign::new(&w.module, Workload::ENTRY, &w.args, ckpt_cfg).expect("golden");
+        let t1 = Instant::now();
+        let ckpt_res = ckpt.run(opts.runs, opts.seed);
+        let ckpt_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            full_res, ckpt_res,
+            "{}: checkpoint-resume must reproduce the full-replay campaign exactly",
+            w.name
+        );
+
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{}", full.golden().dyn_insts),
+            format!("{}", ckpt.n_checkpoints()),
+            format!("{full_ms:.1}"),
+            format!("{ckpt_ms:.1}"),
+            format!("{:.2}x", full_ms / ckpt_ms.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Injection replay: full vs checkpoint-resume ({} runs, identical outcomes)",
+            opts.runs
+        ),
+        &[
+            "benchmark",
+            "golden insts",
+            "ckpts",
+            "full (ms)",
+            "resume (ms)",
+            "speedup",
+        ],
+        &rows,
+    );
+}

@@ -10,7 +10,10 @@
 //! * `--runs N` — fault injections per benchmark (default 1000);
 //! * `--seed S` — campaign RNG seed (default 42);
 //! * `--scale tiny|small|standard` — workload input scale (default small);
-//! * `--bench NAME` — restrict to one benchmark.
+//! * `--bench NAME` — restrict to one benchmark;
+//! * `--ckpt-interval K` — replay checkpoint spacing in dynamic
+//!   instructions (0 disables checkpoint-resume; default automatic);
+//! * `--threads T` — campaign worker threads (default: all cores).
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,10 @@ pub struct HarnessOpts {
     pub scale: Scale,
     /// Restrict to one benchmark by name.
     pub only: Option<String>,
+    /// Replay checkpoint spacing; `None` = automatic, `Some(0)` = off.
+    pub ckpt_interval: Option<u64>,
+    /// Campaign worker threads; `None` = all cores.
+    pub threads: Option<usize>,
 }
 
 impl Default for HarnessOpts {
@@ -39,6 +46,8 @@ impl Default for HarnessOpts {
             seed: 42,
             scale: Scale::Small,
             only: None,
+            ckpt_interval: None,
+            threads: None,
         }
     }
 }
@@ -73,9 +82,24 @@ impl HarnessOpts {
                 "--bench" => {
                     opts.only = Some(args.next().unwrap_or_else(|| die("--bench needs a name")));
                 }
+                "--ckpt-interval" => {
+                    opts.ckpt_interval = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--ckpt-interval needs a number")),
+                    );
+                }
+                "--threads" => {
+                    opts.threads = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| die("--threads needs a number")),
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --runs N  --seed S  --scale tiny|small|standard  --bench NAME"
+                        "options: --runs N  --seed S  --scale tiny|small|standard  --bench NAME  \
+                         --ckpt-interval K  --threads T"
                     );
                     std::process::exit(0);
                 }
@@ -83,6 +107,19 @@ impl HarnessOpts {
             }
         }
         opts
+    }
+
+    /// Campaign configuration honouring the `--ckpt-interval` / `--threads`
+    /// overrides.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut cfg = CampaignConfig::default();
+        if let Some(k) = self.ckpt_interval {
+            cfg.ckpt_interval = if k == 0 { CampaignConfig::CKPT_OFF } else { k };
+        }
+        if let Some(t) = self.threads {
+            cfg.threads = t.max(1);
+        }
+        cfg
     }
 
     /// The workload set selected by these options.
@@ -125,18 +162,23 @@ impl<'m> Analyzed<'m> {
     }
 }
 
-/// Golden-run + ePVF-analyse one workload.
+/// Golden-run + ePVF-analyse one workload with the default campaign
+/// configuration.
 ///
 /// # Panics
 /// Panics if the workload fails to run (construction bug).
 pub fn analyze_workload(w: &Workload) -> Analyzed<'_> {
-    let campaign = Campaign::new(
-        &w.module,
-        Workload::ENTRY,
-        &w.args,
-        CampaignConfig::default(),
-    )
-    .expect("workload golden run succeeds");
+    analyze_workload_with(w, CampaignConfig::default())
+}
+
+/// Golden-run + ePVF-analyse one workload with an explicit campaign
+/// configuration (e.g. [`HarnessOpts::campaign_config`]).
+///
+/// # Panics
+/// Panics if the workload fails to run (construction bug).
+pub fn analyze_workload_with(w: &Workload, config: CampaignConfig) -> Analyzed<'_> {
+    let campaign = Campaign::new(&w.module, Workload::ENTRY, &w.args, config)
+        .expect("workload golden run succeeds");
     let trace = campaign.golden().trace.as_ref().expect("golden is traced");
     let analysis = analyze(&w.module, trace, EpvfConfig::default());
     Analyzed {

@@ -54,6 +54,9 @@ usage: epvf <command> [args]
   run <target>                 golden run summary
   analyze <target>             PVF / ePVF metrics
   inject <target> [N] [SEED]   fault-injection campaign (default 1000, 42)
+    --ckpt-interval K          replay checkpoint spacing in dyn insts
+                               (0 = full from-scratch replays; default auto)
+    --threads T                campaign worker threads (default: all cores)
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
 
 <target> = benchmark[:tiny|:small|:standard] or a .ir file path
@@ -173,19 +176,38 @@ fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_inject(t: Target, rest: &[String]) -> Result<(), String> {
-    let runs: usize = rest
+    let mut config = CampaignConfig::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ckpt-interval" => {
+                let k: u64 = it
+                    .next()
+                    .ok_or("--ckpt-interval needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --ckpt-interval")?;
+                config.ckpt_interval = if k == 0 { CampaignConfig::CKPT_OFF } else { k };
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads")?;
+                config.threads = n.max(1);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let runs: usize = positional
         .first()
         .map_or(Ok(1000), |s| s.parse().map_err(|_| "bad run count"))?;
-    let seed: u64 = rest
+    let seed: u64 = positional
         .get(1)
         .map_or(Ok(42), |s| s.parse().map_err(|_| "bad seed"))?;
-    let campaign = Campaign::new(
-        &t.module,
-        Workload::ENTRY,
-        &t.args,
-        CampaignConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let campaign =
+        Campaign::new(&t.module, Workload::ENTRY, &t.args, config).map_err(|e| e.to_string())?;
     let trace = campaign.golden().trace.as_ref().expect("traced");
     let res = analyze(&t.module, trace, EpvfConfig::default());
     let fi = campaign.run(runs, seed);

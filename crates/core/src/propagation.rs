@@ -413,8 +413,14 @@ pub fn propagate_parallel(
     config: CrashModelConfig,
     threads: usize,
 ) -> CrashMap {
-    let threads = threads.max(1);
-    if threads == 1 || trace.len() < 1024 {
+    // Thread-count resolution: the explicit argument wins; 0 defers to
+    // `config.threads`; if that is 0 too, use the machine's parallelism.
+    let threads = match (threads, config.threads) {
+        (0, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        (0, t) => t,
+        (t, _) => t,
+    };
+    if threads == 1 || trace.len() < config.parallel_cutoff {
         return propagate(module, trace, ddg, ace, config);
     }
     let index = InstIndex::new(module);

@@ -52,6 +52,9 @@ mod machine;
 mod outcome;
 mod trace;
 
-pub use machine::{ExecConfig, ExecError, FaultTarget, InjectionSpec, Interpreter, MultiBitSpec};
+pub use machine::{
+    ExecConfig, ExecError, FaultTarget, InjectionSpec, Interpreter, MultiBitSpec, ReplayOutcome,
+    Snapshot,
+};
 pub use outcome::{CrashKind, Outcome, RunResult};
 pub use trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};

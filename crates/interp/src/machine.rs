@@ -13,8 +13,9 @@ use epvf_ir::{
     BinOp, CastOp, FBinOp, FUnOp, FcmpPred, FuncId, IcmpPred, Inst, Module, Op, Type, Value,
     ValueId,
 };
-use epvf_memsim::{MemConfig, SimMemory};
+use epvf_memsim::{MemConfig, MemoryMap, SimMemory};
 use std::fmt;
+use std::sync::Arc;
 
 /// Bytes charged per call frame (saved registers / linkage), so the
 /// simulated stack pointer descends realistically.
@@ -177,6 +178,73 @@ impl<'m> Interpreter<'m> {
         Exec::new(self.module, cfg, None).run(entry, args)
     }
 
+    /// Run fault-free, emitting a [`Snapshot`] roughly every `interval`
+    /// dynamic instructions (the first at dynamic index 0, so any later
+    /// position has a preceding snapshot). Snapshots are taken at
+    /// instruction boundaries; cloning memory is O(resident pages) thanks to
+    /// copy-on-write page storage.
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn run_with_checkpoints(
+        &self,
+        entry: &str,
+        args: &[u64],
+        interval: u64,
+    ) -> Result<(RunResult, Vec<Snapshot>), ExecError> {
+        let mut exec = Exec::new(self.module, self.config, None);
+        exec.ckpt = Some(CkptCollector {
+            interval: interval.max(1),
+            next_at: 0,
+            snaps: Vec::new(),
+        });
+        let result = exec.run(entry, args)?;
+        let snaps = exec.ckpt.take().map(|c| c.snaps).unwrap_or_default();
+        Ok((result, snaps))
+    }
+
+    /// Resume a fault-free run from `snapshot`, replaying only the suffix.
+    /// The result is identical to the from-scratch run that produced the
+    /// snapshot (the resumed portion never records a trace).
+    pub fn run_from(&self, snapshot: &Snapshot) -> RunResult {
+        let mut exec = Exec::resume(self.module, self.config, snapshot, None);
+        exec.run_resumed_to_result()
+    }
+
+    /// Resume from `snapshot` with a single-bit fault injected, replaying
+    /// only the suffix. The caller must pick a snapshot taken at or before
+    /// the injection point (`snapshot.dyn_count() <= spec.dyn_idx`);
+    /// otherwise the fault can never fire.
+    pub fn run_injected_from(&self, snapshot: &Snapshot, spec: InjectionSpec) -> RunResult {
+        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
+        exec.run_resumed_to_result()
+    }
+
+    /// Like [`Self::run_injected_from`], but additionally watches the golden
+    /// checkpoints in `rendezvous` (those strictly after the injection
+    /// point): if the replayed state becomes identical to one of them, the
+    /// deterministic suffix is bit-identical to the golden run and the
+    /// replay ends early with [`ReplayOutcome::Rejoined`] — the fault was
+    /// masked. This is what lets a checkpointed campaign skip most of the
+    /// post-injection work for benign faults.
+    pub fn replay_injected_from(
+        &self,
+        snapshot: &Snapshot,
+        spec: InjectionSpec,
+        rendezvous: &[Snapshot],
+    ) -> ReplayOutcome {
+        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
+        exec.rendezvous = Some(Rendezvous {
+            snaps: rendezvous,
+            next: 0,
+            armed_after: spec.dyn_idx,
+        });
+        match exec.exec_loop() {
+            End::Outcome(outcome) => ReplayOutcome::Finished(exec.take_result(outcome)),
+            End::Rejoined { at } => ReplayOutcome::Rejoined { at_dyn: at },
+        }
+    }
+
     /// Run with a single-bit fault injected.
     ///
     /// # Errors
@@ -213,6 +281,7 @@ impl<'m> Interpreter<'m> {
     }
 }
 
+#[derive(Debug, Clone, PartialEq)]
 struct Frame {
     func: FuncId,
     block: usize,
@@ -224,7 +293,69 @@ struct Frame {
     ret_to: Option<ValueId>,
 }
 
-struct Exec<'m> {
+/// An owned, resumable capture of the full interpreter state at an
+/// instruction boundary: call stack, simulated memory (copy-on-write pages,
+/// so cloning is cheap), dynamic-instruction counters, outputs emitted so
+/// far, and global placement.
+///
+/// Snapshots are produced by [`Interpreter::run_with_checkpoints`] and
+/// consumed by the `*_from` resume entry points. They are `Send + Sync`
+/// (pages are `Arc`'d), so a campaign can resume many injected runs from the
+/// same snapshot across worker threads.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    frames: Vec<Frame>,
+    mem: SimMemory,
+    outputs: Vec<u64>,
+    output_tys: Vec<Type>,
+    dyn_count: u64,
+    next_dyn: u64,
+    global_addrs: Vec<u64>,
+}
+
+impl Snapshot {
+    /// Dynamic-instruction position this snapshot was taken at. Resuming
+    /// from it replays every instruction with `dyn_idx >= dyn_count()`.
+    pub fn dyn_count(&self) -> u64 {
+        self.dyn_count
+    }
+}
+
+/// How a resumed, injected replay ended (see
+/// [`Interpreter::replay_injected_from`]).
+#[derive(Debug, Clone)]
+pub enum ReplayOutcome {
+    /// The run executed to a terminal outcome.
+    Finished(RunResult),
+    /// The run's state became identical to a golden checkpoint at dynamic
+    /// instruction `at_dyn` *after* the injection fired. Execution is
+    /// deterministic, so the remaining suffix is bit-identical to the golden
+    /// run: the fault was fully masked (outcome `Benign`).
+    Rejoined {
+        /// The dynamic instruction index of the matching golden checkpoint.
+        at_dyn: u64,
+    },
+}
+
+/// Periodic snapshot collection state (golden checkpointing pass).
+struct CkptCollector {
+    interval: u64,
+    next_at: u64,
+    snaps: Vec<Snapshot>,
+}
+
+/// Golden checkpoints ahead of a resumed injected run, used to detect
+/// rejoin-with-golden and end the replay early.
+struct Rendezvous<'r> {
+    snaps: &'r [Snapshot],
+    next: usize,
+    /// Rendezvous is only armed strictly after this dynamic index (the
+    /// injection point) — before it, matching golden state is expected and
+    /// means nothing.
+    armed_after: u64,
+}
+
+struct Exec<'m, 'r> {
     module: &'m Module,
     config: ExecConfig,
     mem: SimMemory,
@@ -236,6 +367,18 @@ struct Exec<'m> {
     next_dyn: u64,
     injection: Option<MultiBitSpec>,
     global_addrs: Vec<u64>,
+    /// Cache of the last map snapshot, keyed by `SimMemory::map_version`, so
+    /// traced loads/stores under an unchanged map share one `Arc` instead of
+    /// deep-cloning the VMA list per access.
+    map_cache: Option<(u64, Arc<MemoryMap>)>,
+    ckpt: Option<CkptCollector>,
+    rendezvous: Option<Rendezvous<'r>>,
+}
+
+/// How `exec_loop` ended.
+enum End {
+    Outcome(Outcome),
+    Rejoined { at: u64 },
 }
 
 enum Flow {
@@ -251,7 +394,7 @@ enum Flow {
     Stop(Outcome),
 }
 
-impl<'m> Exec<'m> {
+impl<'m, 'r> Exec<'m, 'r> {
     fn new(module: &'m Module, config: ExecConfig, injection: Option<MultiBitSpec>) -> Self {
         Exec {
             module,
@@ -265,7 +408,65 @@ impl<'m> Exec<'m> {
             next_dyn: 0,
             injection,
             global_addrs: Vec::new(),
+            map_cache: None,
+            ckpt: None,
+            rendezvous: None,
         }
+    }
+
+    /// Rebuild an execution mid-flight from a snapshot. The clone is cheap:
+    /// memory pages are `Arc`-shared with the snapshot until written.
+    /// Resumed runs never record a trace — a suffix trace would be
+    /// misleading.
+    fn resume(
+        module: &'m Module,
+        mut config: ExecConfig,
+        snap: &Snapshot,
+        injection: Option<MultiBitSpec>,
+    ) -> Self {
+        config.record_trace = false;
+        Exec {
+            module,
+            config,
+            mem: snap.mem.clone(),
+            frames: snap.frames.clone(),
+            outputs: snap.outputs.clone(),
+            output_tys: snap.output_tys.clone(),
+            trace: Trace::default(),
+            dyn_count: snap.dyn_count,
+            next_dyn: snap.next_dyn,
+            injection,
+            global_addrs: snap.global_addrs.clone(),
+            map_cache: None,
+            ckpt: None,
+            rendezvous: None,
+        }
+    }
+
+    /// Capture the full execution state at the current instruction boundary.
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            frames: self.frames.clone(),
+            mem: self.mem.clone(),
+            outputs: self.outputs.clone(),
+            output_tys: self.output_tys.clone(),
+            dyn_count: self.dyn_count,
+            next_dyn: self.next_dyn,
+            global_addrs: self.global_addrs.clone(),
+        }
+    }
+
+    /// Whether the live state is identical to `snap` (same position, stack,
+    /// memory, outputs). If so, the deterministic remainder of this run is
+    /// bit-identical to the run the snapshot came from.
+    fn state_matches(&self, snap: &Snapshot) -> bool {
+        self.dyn_count == snap.dyn_count
+            && self.next_dyn == snap.next_dyn
+            && self.outputs == snap.outputs
+            && self.output_tys == snap.output_tys
+            && self.global_addrs == snap.global_addrs
+            && self.frames == snap.frames
+            && self.mem.state_eq(&snap.mem)
     }
 
     fn fresh_dyn(&mut self) -> DynValueId {
@@ -274,7 +475,7 @@ impl<'m> Exec<'m> {
         id
     }
 
-    fn run(mut self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
+    fn run(&mut self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
         let func = self
             .module
             .func_by_name(entry)
@@ -314,8 +515,24 @@ impl<'m> Exec<'m> {
             ret_to: None,
         });
 
-        let outcome = self.exec_loop();
-        Ok(RunResult {
+        let outcome = match self.exec_loop() {
+            End::Outcome(o) => o,
+            End::Rejoined { .. } => unreachable!("rendezvous is never set on fresh runs"),
+        };
+        Ok(self.take_result(outcome))
+    }
+
+    /// Drive a resumed (checkpoint-restored) execution to completion.
+    fn run_resumed_to_result(&mut self) -> RunResult {
+        let outcome = match self.exec_loop() {
+            End::Outcome(o) => o,
+            End::Rejoined { .. } => unreachable!("no rendezvous on this path"),
+        };
+        self.take_result(outcome)
+    }
+
+    fn take_result(&mut self, outcome: Outcome) -> RunResult {
+        RunResult {
             outcome,
             outputs: std::mem::take(&mut self.outputs),
             output_tys: std::mem::take(&mut self.output_tys),
@@ -324,13 +541,63 @@ impl<'m> Exec<'m> {
                 .config
                 .record_trace
                 .then(|| std::mem::take(&mut self.trace)),
-        })
+        }
     }
 
-    fn exec_loop(&mut self) -> Outcome {
+    /// Emit a checkpoint if the collector is armed and due. Runs at the top
+    /// of the interpreter loop, so snapshots always land on instruction
+    /// boundaries.
+    fn maybe_checkpoint(&mut self) {
+        if self
+            .ckpt
+            .as_ref()
+            .is_some_and(|c| self.dyn_count >= c.next_at)
+        {
+            let snap = self.snapshot();
+            let c = self.ckpt.as_mut().expect("checked above");
+            c.next_at = self.dyn_count + c.interval;
+            c.snaps.push(snap);
+        }
+    }
+
+    /// Check whether the replayed state has rejoined the golden run at the
+    /// next pending rendezvous checkpoint. Checkpoint positions the injected
+    /// run skipped (phi batches advance `dyn_count` by more than one between
+    /// loop tops, and a diverged path may visit different positions) are
+    /// discarded as they fall behind.
+    fn try_rendezvous(&mut self) -> Option<u64> {
+        let r = self.rendezvous.as_mut()?;
+        while r.next < r.snaps.len() && r.snaps[r.next].dyn_count < self.dyn_count {
+            r.next += 1;
+        }
+        if r.next >= r.snaps.len() {
+            self.rendezvous = None; // no candidates left; stop checking
+            return None;
+        }
+        let armed_after = r.armed_after;
+        let snaps = r.snaps;
+        let idx = r.next;
+        let snap = &snaps[idx];
+        if snap.dyn_count != self.dyn_count || self.dyn_count <= armed_after {
+            return None;
+        }
+        // This candidate is consumed whether or not the state matches.
+        self.rendezvous.as_mut().expect("checked above").next = idx + 1;
+        self.state_matches(snap).then_some(self.dyn_count)
+    }
+
+    fn exec_loop(&mut self) -> End {
         loop {
+            if self.ckpt.is_some() {
+                self.maybe_checkpoint();
+            }
+            if self.rendezvous.is_some() {
+                if let Some(at) = self.try_rendezvous() {
+                    return End::Rejoined { at };
+                }
+            }
             if self.dyn_count >= self.config.max_dyn_insts {
-                return Outcome::Hang;
+                return End::Outcome(Outcome::Hang);
             }
             let module = self.module;
             let frame = self.frames.last().expect("frame stack never empty here");
@@ -350,7 +617,7 @@ impl<'m> Exec<'m> {
                     f.ip = 0;
                     // Resolve the block's leading phi batch.
                     if let Some(o) = self.exec_phis(prev) {
-                        return o;
+                        return End::Outcome(o);
                     }
                 }
                 Flow::Enter => {
@@ -360,7 +627,7 @@ impl<'m> Exec<'m> {
                 Flow::Return(val) => {
                     let done = self.frames.pop().expect("frame exists");
                     if self.frames.is_empty() {
-                        return Outcome::Completed;
+                        return End::Outcome(Outcome::Completed);
                     }
                     if let Some(ret_reg) = done.ret_to {
                         let (bits, src) = val.unwrap_or((0, None));
@@ -375,7 +642,7 @@ impl<'m> Exec<'m> {
                     let caller = self.frames.last_mut().expect("frame exists");
                     caller.ip += 1;
                 }
-                Flow::Stop(outcome) => return outcome,
+                Flow::Stop(outcome) => return End::Outcome(outcome),
             }
         }
     }
@@ -571,7 +838,7 @@ impl<'m> Exec<'m> {
                                 size,
                                 is_store: false,
                                 sp,
-                                map: self.mem.snapshot_map(),
+                                map: self.map_snapshot(),
                             });
                         }
                         result = Some(self.define(inst, v));
@@ -596,7 +863,7 @@ impl<'m> Exec<'m> {
                                 size,
                                 is_store: true,
                                 sp,
-                                map: self.mem.snapshot_map(),
+                                map: self.map_snapshot(),
                             });
                         }
                         Flow::Next
@@ -759,6 +1026,23 @@ impl<'m> Exec<'m> {
         frame.regs[reg.index()] = bits;
         frame.dynid[reg.index()] = id;
         (reg, bits, id)
+    }
+
+    /// Shared snapshot of the current memory map, re-cloned only when the
+    /// map actually changed since the last call (tracked by
+    /// `SimMemory::map_version`). Traced loads/stores call this per access;
+    /// the old per-access deep clone of the VMA list dominated golden-run
+    /// time on memory-heavy workloads.
+    fn map_snapshot(&mut self) -> Arc<MemoryMap> {
+        let version = self.mem.map_version();
+        match &self.map_cache {
+            Some((v, map)) if *v == version => Arc::clone(map),
+            _ => {
+                let map = Arc::new(self.mem.snapshot_map());
+                self.map_cache = Some((version, Arc::clone(&map)));
+                map
+            }
+        }
     }
 
     fn operand_ty(&self, v: Value, _src: Option<DynValueId>) -> Type {

@@ -8,6 +8,7 @@
 use epvf_ir::{FuncId, StaticInstId, Value, ValueId};
 use epvf_memsim::MemoryMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identity of one *dynamic register instance*.
 ///
@@ -55,7 +56,9 @@ pub struct MemAccessRec {
     /// The stack pointer at the access (input to the Linux stack rule).
     pub sp: u64,
     /// Snapshot of the memory map (the simulated `/proc/self/maps` probe).
-    pub map: MemoryMap,
+    /// `Arc`'d: consecutive accesses under an unchanged map share one
+    /// snapshot instead of deep-cloning the VMA list per record.
+    pub map: Arc<MemoryMap>,
 }
 
 /// One executed instruction.

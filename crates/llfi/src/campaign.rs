@@ -8,13 +8,15 @@
 use crate::site::SiteTable;
 use crate::stats::ci95;
 use epvf_interp::{
-    CrashKind, ExecConfig, ExecError, InjectionSpec, Interpreter, Outcome, RunResult,
+    CrashKind, ExecConfig, ExecError, InjectionSpec, Interpreter, Outcome, ReplayOutcome,
+    RunResult, Snapshot,
 };
 use epvf_ir::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Classified result of one injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +64,21 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// SDC comparison semantics.
     pub compare: OutputCompare,
+    /// Checkpoint spacing in dynamic instructions for the replay engine:
+    /// injected runs resume from the nearest checkpoint at or before their
+    /// injection point instead of re-executing the prefix.
+    /// [`Self::CKPT_AUTO`] (the default) picks ~64 evenly spaced
+    /// checkpoints; [`Self::CKPT_OFF`] disables checkpointing and restores
+    /// full from-scratch replays.
+    pub ckpt_interval: u64,
+}
+
+impl CampaignConfig {
+    /// `ckpt_interval` value selecting an automatic spacing:
+    /// `max(golden_dyn_insts / 64, 1024)`.
+    pub const CKPT_AUTO: u64 = u64::MAX;
+    /// `ckpt_interval` value disabling checkpoint-resume entirely.
+    pub const CKPT_OFF: u64 = 0;
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +88,7 @@ impl Default for CampaignConfig {
             hang_multiplier: 10,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             compare: OutputCompare::default(),
+            ckpt_interval: CampaignConfig::CKPT_AUTO,
         }
     }
 }
@@ -229,6 +247,9 @@ pub struct Campaign<'m> {
     config: CampaignConfig,
     golden: RunResult,
     sites: SiteTable,
+    /// Golden checkpoints in ascending `dyn_count` order (starting at 0),
+    /// empty when checkpointing is off.
+    ckpts: Vec<Snapshot>,
 }
 
 impl<'m> Campaign<'m> {
@@ -254,6 +275,27 @@ impl<'m> Campaign<'m> {
         if sites.is_empty() {
             return Err(CampaignError::NoInjectableSites);
         }
+        // Collect replay checkpoints in a second, untraced golden pass
+        // (execution is identical with tracing off; only the trace artifact
+        // differs). The first checkpoint lands at dynamic index 0, so every
+        // injection point has a preceding checkpoint to resume from.
+        let ckpts = if config.ckpt_interval == CampaignConfig::CKPT_OFF {
+            Vec::new()
+        } else {
+            let interval = if config.ckpt_interval == CampaignConfig::CKPT_AUTO {
+                (golden.dyn_insts / 64).max(1024)
+            } else {
+                config.ckpt_interval
+            };
+            let mut exec = config.exec;
+            exec.record_trace = false;
+            let (rerun, ckpts) = Interpreter::new(module, exec)
+                .run_with_checkpoints(entry, args, interval)
+                .expect("entry validated by the golden run");
+            debug_assert_eq!(rerun.dyn_insts, golden.dyn_insts);
+            debug_assert_eq!(rerun.outputs, golden.outputs);
+            ckpts
+        };
         Ok(Campaign {
             module,
             entry: entry.to_string(),
@@ -261,6 +303,7 @@ impl<'m> Campaign<'m> {
             config,
             golden,
             sites,
+            ckpts,
         })
     }
 
@@ -279,6 +322,11 @@ impl<'m> Campaign<'m> {
         &self.sites
     }
 
+    /// Number of replay checkpoints collected (0 when checkpointing is off).
+    pub fn n_checkpoints(&self) -> usize {
+        self.ckpts.len()
+    }
+
     /// Interpreter configuration for injected runs: trace off, hang budget
     /// scaled from the golden run.
     fn injected_exec(&self) -> ExecConfig {
@@ -294,12 +342,30 @@ impl<'m> Campaign<'m> {
     }
 
     /// Execute one injected run and classify it.
+    ///
+    /// With checkpointing on, the run resumes from the nearest golden
+    /// checkpoint at or before the injection point (skipping the prefix),
+    /// and ends early as `Benign` if its state rejoins a later golden
+    /// checkpoint — the deterministic suffix is then bit-identical to the
+    /// golden run, so the outputs must match. Both paths classify every
+    /// spec identically; checkpointing only changes how much is executed.
     pub fn run_spec(&self, spec: InjectionSpec) -> InjOutcome {
         let interp = Interpreter::new(self.module, self.injected_exec());
-        let res = interp
-            .run_injected(&self.entry, &self.args, spec)
-            .expect("entry validated at construction");
-        self.classify(&res)
+        let idx = self
+            .ckpts
+            .partition_point(|s| s.dyn_count() <= spec.dyn_idx);
+        if idx == 0 {
+            // Checkpointing off (or no usable checkpoint): from scratch.
+            let res = interp
+                .run_injected(&self.entry, &self.args, spec)
+                .expect("entry validated at construction");
+            return self.classify(&res);
+        }
+        let base = &self.ckpts[idx - 1];
+        match interp.replay_injected_from(base, spec, &self.ckpts[idx..]) {
+            ReplayOutcome::Finished(res) => self.classify(&res),
+            ReplayOutcome::Rejoined { .. } => InjOutcome::Benign,
+        }
     }
 
     /// Classify a finished run against the golden output.
@@ -331,28 +397,55 @@ impl<'m> Campaign<'m> {
 
     /// Run an explicit list of injection specs (used by the precision study
     /// and the §V protection evaluation).
+    ///
+    /// Specs are *dispatched* in ascending injection order — consecutive
+    /// specs then resume from the same checkpoint epoch, maximizing reuse of
+    /// shared memory pages — and handed to workers one at a time off a
+    /// shared atomic cursor (work stealing), so a worker that draws cheap
+    /// early-crashing runs takes more of them instead of idling. Results are
+    /// scattered back into the input order, so a [`CampaignResult`] is
+    /// byte-identical regardless of thread count.
     pub fn run_specs(&self, specs: &[InjectionSpec]) -> CampaignResult {
         let threads = self.config.threads.max(1);
-        if threads == 1 || specs.len() < 32 {
-            let runs = specs.iter().map(|s| (*s, self.run_spec(*s))).collect();
-            return CampaignResult { runs };
-        }
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by_key(|&i| (specs[i].dyn_idx, i));
         let mut outcomes: Vec<Option<InjOutcome>> = vec![None; specs.len()];
-        let chunk = specs.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (specs_chunk, out_chunk) in specs.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
-                    for (s, o) in specs_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *o = Some(self.run_spec(*s));
-                    }
-                });
+        if threads == 1 || specs.len() < 32 {
+            for &i in &order {
+                outcomes[i] = Some(self.run_spec(specs[i]));
             }
-        })
-        .expect("campaign worker panicked");
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let order = &order;
+            let cursor = &cursor;
+            let locals: Vec<Vec<(usize, InjOutcome)>> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move |_| {
+                            let mut local = Vec::new();
+                            loop {
+                                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = order.get(k) else { break };
+                                local.push((i, self.run_spec(specs[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+            .expect("campaign scope failed");
+            for (i, o) in locals.into_iter().flatten() {
+                outcomes[i] = Some(o);
+            }
+        }
         let runs = specs
             .iter()
             .zip(outcomes)
-            .map(|(s, o)| (*s, o.expect("all chunks processed")))
+            .map(|(s, o)| (*s, o.expect("all specs processed")))
             .collect();
         CampaignResult { runs }
     }
@@ -437,6 +530,43 @@ mod tests {
         let c4 = Campaign::new(&m, "main", &[16], cfg4).expect("golden");
         let parallel = c4.run(100, 9);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_full_replay() {
+        let m = kernel_module();
+        let full_cfg = CampaignConfig {
+            threads: 1,
+            ckpt_interval: CampaignConfig::CKPT_OFF,
+            ..CampaignConfig::default()
+        };
+        let full = Campaign::new(&m, "main", &[24], full_cfg).expect("golden");
+        assert_eq!(full.n_checkpoints(), 0);
+        // A tight interval so many checkpoints exist even on this small run.
+        let ckpt_cfg = CampaignConfig {
+            threads: 1,
+            ckpt_interval: 16,
+            ..CampaignConfig::default()
+        };
+        let ckpt = Campaign::new(&m, "main", &[24], ckpt_cfg).expect("golden");
+        assert!(ckpt.n_checkpoints() > 4);
+        assert_eq!(full.run(300, 7), ckpt.run(300, 7));
+    }
+
+    #[test]
+    fn checkpointed_campaign_deterministic_across_thread_counts() {
+        let m = kernel_module();
+        let mk = |threads| {
+            let cfg = CampaignConfig {
+                threads,
+                ckpt_interval: 32,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&m, "main", &[24], cfg)
+                .expect("golden")
+                .run(120, 13)
+        };
+        assert_eq!(mk(1), mk(4));
     }
 
     #[test]

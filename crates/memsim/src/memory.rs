@@ -14,6 +14,7 @@
 use crate::fault::AccessError;
 use crate::vma::{MemoryMap, SegmentKind, Vma};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Simulated page size.
 pub const PAGE_SIZE: u64 = 4096;
@@ -97,8 +98,14 @@ impl Default for MemConfig {
 #[derive(Debug, Clone)]
 pub struct SimMemory {
     config: MemConfig,
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Resident pages. Pages are `Arc`'d so cloning the whole space (for a
+    /// checkpoint) is O(resident pages) pointer bumps; writes go through
+    /// `Arc::make_mut`, copying a page only when it is shared.
+    pages: HashMap<u64, Arc<[u8; PAGE_SIZE as usize]>>,
     map: MemoryMap,
+    /// Bumped every time `map` changes; lets callers cache derived data
+    /// (e.g. a shared snapshot of the map) instead of re-cloning per access.
+    map_version: u64,
     /// Current heap break (top of the heap VMA).
     brk: u64,
     /// Live heap allocations: base → size.
@@ -147,6 +154,7 @@ impl SimMemory {
             config,
             pages: HashMap::new(),
             map,
+            map_version: 0,
             brk: heap_base,
             allocations: BTreeMap::new(),
             heap_cursor: heap_base,
@@ -182,6 +190,53 @@ impl SimMemory {
         &self.map
     }
 
+    /// Monotone counter bumped whenever the memory map changes. Two calls
+    /// returning the same value bracket a span in which [`Self::map`] was
+    /// constant, so a cached [`Self::snapshot_map`] stays valid.
+    pub fn map_version(&self) -> u64 {
+        self.map_version
+    }
+
+    /// Semantic equality of two address spaces: same segment layout, heap
+    /// bookkeeping, and byte contents. Page storage is compared by value —
+    /// a missing page equals an all-zero page (both read as zeros) — with an
+    /// `Arc::ptr_eq` fast path for pages shared between the two spaces, so
+    /// comparing a run against a checkpoint it was resumed from touches only
+    /// the pages written since. `map_version` is deliberately excluded: it
+    /// counts mutations, not state.
+    pub fn state_eq(&self, other: &SimMemory) -> bool {
+        if self.map != other.map
+            || self.brk != other.brk
+            || self.allocations != other.allocations
+            || self.heap_cursor != other.heap_cursor
+            || self.heap_max != other.heap_max
+            || self.stack_top != other.stack_top
+            || self.stack_lowest != other.stack_lowest
+        {
+            return false;
+        }
+        for (page, data) in &self.pages {
+            match other.pages.get(page) {
+                Some(o) => {
+                    if !Arc::ptr_eq(data, o) && data[..] != o[..] {
+                        return false;
+                    }
+                }
+                None => {
+                    if data.iter().any(|&b| b != 0) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for (page, data) in &other.pages {
+            if !self.pages.contains_key(page) && data.iter().any(|&b| b != 0) {
+                return false;
+            }
+        }
+        true
+    }
+
     // ----- segment management -----
 
     /// Place a global of `size`/`align` in the data segment, returning its
@@ -193,6 +248,7 @@ impl SimMemory {
             .expect("data segment always exists");
         let base = data.end.next_multiple_of(align.max(1));
         data.end = base + size.max(1);
+        self.map_version += 1;
         base
     }
 
@@ -222,6 +278,7 @@ impl SimMemory {
                 .locate_mut_kind(SegmentKind::Heap)
                 .expect("heap segment always exists");
             heap.end = self.brk + slack;
+            self.map_version += 1;
         }
         self.allocations.insert(base, size);
         Ok(base)
@@ -261,6 +318,7 @@ impl SimMemory {
             .expect("stack segment always exists");
         if page < stack.start {
             stack.start = page;
+            self.map_version += 1;
         }
         Ok(())
     }
@@ -313,7 +371,10 @@ impl SimMemory {
                 .map
                 .locate_mut_kind(SegmentKind::Stack)
                 .expect("stack segment always exists");
-            stack.start = stack.start.min(page);
+            if page < stack.start {
+                stack.start = page;
+                self.map_version += 1;
+            }
             return Ok(());
         }
         Err(AccessError::Segfault { addr })
@@ -375,8 +436,8 @@ impl SimMemory {
         let p = self
             .pages
             .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        p[(addr - page) as usize] = v;
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize]));
+        Arc::make_mut(p)[(addr - page) as usize] = v;
     }
 
     /// Number of materialized pages (memory footprint diagnostics).
@@ -587,6 +648,58 @@ mod tests {
         let h0 = before.find_kind(SegmentKind::Heap).map(|v| v.end);
         let h1 = after.find_kind(SegmentKind::Heap).map(|v| v.end);
         assert!(h1 > h0, "heap end must have advanced");
+    }
+
+    #[test]
+    fn map_version_tracks_map_mutations() {
+        let mut m = mem();
+        let v0 = m.map_version();
+        let sp = m.stack_top();
+        let p = m.malloc(64).expect("alloc");
+        let v1 = m.map_version();
+        assert!(v1 > v0, "first malloc advances brk → new map");
+        m.write(p, 4, 7, sp).expect("write");
+        assert_eq!(m.map_version(), v1, "plain data writes keep the map");
+        let _ = m.malloc(8).expect("alloc");
+        assert_eq!(m.map_version(), v1, "allocation within brk keeps the map");
+        m.place_global(16, 8);
+        assert!(m.map_version() > v1, "global placement grows data segment");
+    }
+
+    #[test]
+    fn cloned_space_shares_pages_until_written() {
+        let mut m = mem();
+        let p = m.malloc(64).expect("alloc");
+        let sp = m.stack_top();
+        m.write(p, 8, 0x1122_3344, sp).expect("write");
+        let snap = m.clone();
+        // Snapshot sees the value; writing to the original must not alter it.
+        m.write(p, 8, 0xFFFF, sp).expect("write");
+        let mut snap = snap;
+        assert_eq!(snap.read(p, 8, sp).expect("read"), 0x1122_3344);
+        assert_eq!(m.read(p, 8, sp).expect("read"), 0xFFFF);
+    }
+
+    #[test]
+    fn state_eq_semantics() {
+        let mut a = mem();
+        let mut b = mem();
+        assert!(a.state_eq(&b));
+        let pa = a.malloc(64).expect("alloc");
+        let pb = b.malloc(64).expect("alloc");
+        assert_eq!(pa, pb);
+        let sp = a.stack_top();
+        a.write(pa, 4, 9, sp).expect("write");
+        assert!(!a.state_eq(&b), "differing bytes");
+        b.write(pb, 4, 9, sp).expect("write");
+        assert!(a.state_eq(&b), "same bytes again");
+        // A page written then zeroed equals an absent page.
+        a.write(pa + 8, 4, 1, sp).expect("write");
+        a.write(pa + 8, 4, 0, sp).expect("write");
+        assert!(a.state_eq(&b), "zeroed page == absent page");
+        // Allocation bookkeeping matters even when bytes agree.
+        a.free(pa).expect("free");
+        assert!(!a.state_eq(&b), "allocation tables differ");
     }
 
     #[test]
