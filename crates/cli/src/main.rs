@@ -6,6 +6,7 @@
 //! epvf run <target>                  golden run: outputs + trace size
 //! epvf analyze <target>              PVF / ePVF / crash-rate metrics
 //! epvf inject <target> [N] [SEED]    fault-injection campaign summary
+//! epvf oracle <target>               exhaustive ground truth vs the models
 //! epvf protect <target> [BUDGET]     §V selective-duplication comparison
 //! ```
 //!
@@ -18,6 +19,10 @@ use epvf_core::{analyze, per_instruction_scores, AceConfig, EpvfConfig};
 use epvf_interp::{ExecConfig, Interpreter};
 use epvf_ir::{parse_module, Module};
 use epvf_llfi::{precision_study, recall_study, Campaign, CampaignConfig};
+use epvf_oracle::{
+    differential_check, hard_invariant_scan, outcome_label, parse_repro, replay_repro, sweep,
+    write_repros, ReproContext,
+};
 use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
 use epvf_workloads::{by_name, extended_suite, Scale, Workload};
 use std::process::ExitCode;
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         Some("run") => with_target(&args, cmd_run),
         Some("analyze") => with_target(&args, cmd_analyze),
         Some("inject") => with_target(&args, cmd_inject),
+        Some("oracle") => cmd_oracle(args.get(1..).unwrap_or(&[])),
         Some("protect") => with_target(&args, cmd_protect),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{}", USAGE);
@@ -57,6 +63,13 @@ usage: epvf <command> [args]
     --ckpt-interval K          replay checkpoint spacing in dyn insts
                                (0 = full from-scratch replays; default auto)
     --threads T                campaign worker threads (default: all cores)
+  oracle <target>              exhaustive bit-flip oracle vs crash model
+    --workload NAME            alternative way to name the target
+    --limit N                  subsample the sweep to ~N runs (0 = all)
+    --max-repros K             disagreement repros to keep (default 8)
+    --repro-dir DIR            write replayable .repro files to DIR
+    --replay FILE              re-execute one .repro file instead
+    --ckpt-interval K / --threads T   as for inject
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
 
 <target> = benchmark[:tiny|:small|:standard] or a .ir file path
@@ -236,6 +249,121 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), String> {
         100.0 * res.metrics.crash_rate_estimate,
         100.0 * fi.crash_rate()
     );
+    Ok(())
+}
+
+fn cmd_oracle(rest: &[String]) -> Result<(), String> {
+    let mut config = CampaignConfig::default();
+    let mut target: Option<String> = None;
+    let mut limit = 0usize;
+    let mut max_repros = 8usize;
+    let mut repro_dir: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--workload" => target = Some(value("--workload")?.clone()),
+            "--limit" => limit = value("--limit")?.parse().map_err(|_| "bad --limit")?,
+            "--max-repros" => {
+                max_repros = value("--max-repros")?
+                    .parse()
+                    .map_err(|_| "bad --max-repros")?;
+            }
+            "--repro-dir" => repro_dir = Some(value("--repro-dir")?.clone()),
+            "--replay" => replay = Some(value("--replay")?.clone()),
+            "--ckpt-interval" => {
+                let k: u64 = value("--ckpt-interval")?
+                    .parse()
+                    .map_err(|_| "bad --ckpt-interval")?;
+                config.ckpt_interval = if k == 0 { CampaignConfig::CKPT_OFF } else { k };
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?.parse().map_err(|_| "bad --threads")?;
+                config.threads = n.max(1);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => target = Some(positional.to_string()),
+        }
+    }
+
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let repro = parse_repro(&text)?;
+        let outcome = replay_repro(&repro)?;
+        let observed = outcome_label(outcome);
+        println!("repro     : {path}");
+        println!("spec      : {}", repro.spec);
+        println!("recorded  : {}", repro.observed);
+        println!("replayed  : {observed}");
+        return if observed == repro.observed {
+            println!("verdict   : reproduced");
+            Ok(())
+        } else {
+            Err("replay diverged from the recorded outcome".into())
+        };
+    }
+
+    let t = resolve(&target.ok_or("missing <target> (or --workload NAME / --replay FILE)")?)?;
+    let campaign =
+        Campaign::new(&t.module, Workload::ENTRY, &t.args, config).map_err(|e| e.to_string())?;
+    let trace = campaign.golden().trace.as_ref().expect("traced");
+    let res = analyze(&t.module, trace, EpvfConfig::default());
+    let gt = sweep(&campaign, limit);
+    let report = differential_check(&campaign, &res, &gt, max_repros);
+    let violations = hard_invariant_scan(&campaign, &res, &gt);
+
+    let [crash, sdc, benign, hang, detected] = gt.tally();
+    println!(
+        "target    : {} ({} of {} possible flips{})",
+        t.label,
+        gt.runs.len(),
+        gt.universe,
+        if gt.is_exhaustive() {
+            ", exhaustive"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "outcomes  : crash {crash}  sdc {sdc}  benign {benign}  hang {hang}  detected {detected}"
+    );
+    let c = report.confusion;
+    println!(
+        "confusion : tp {}  fp {}  fn {}  tn {}",
+        c.tp, c.fp, c.fn_, c.tn
+    );
+    println!("recall    : {:.4}   (paper Table V: 0.89)", c.recall());
+    println!("precision : {:.4}   (paper Table V: 0.92)", c.precision());
+    println!(
+        "disagree  : {} ({} masked-SDC)",
+        report.total_disagreements, report.masked_sdc
+    );
+    if let Some(dir) = repro_dir {
+        let ctx = ReproContext {
+            label: &t.label,
+            module: &t.module,
+            entry: Workload::ENTRY,
+            args: &t.args,
+            trace,
+        };
+        let paths = write_repros(
+            std::path::Path::new(&dir),
+            &t.label.replace([':', '/'], "-"),
+            &ctx,
+            &report.disagreements,
+        )
+        .map_err(|e| format!("writing repros: {e}"))?;
+        println!("repros    : {} file(s) in {dir}", paths.len());
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("hard violation: {:?} {}", v.spec, v.detail);
+        }
+        return Err(format!("{} hard invariant violation(s)", violations.len()));
+    }
     Ok(())
 }
 

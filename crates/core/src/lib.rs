@@ -60,7 +60,8 @@ pub use crash_model::{check_boundary, CrashModelConfig};
 pub use epvf::{analyze, compute_metrics, trace_use_bits, EpvfConfig, EpvfMetrics, EpvfResult};
 pub use per_inst::{cdf, per_instruction_scores, InstScore};
 pub use propagation::{
-    propagate, propagate_parallel, propagate_scoped, Constraint, CrashMap, CrashScope,
+    operand_range, propagate, propagate_parallel, propagate_scoped, Constraint, CrashMap,
+    CrashScope,
 };
 pub use range::ValueRange;
 pub use sampling::{repetitiveness_variance, sampled_epvf, SamplingEstimate};

@@ -215,7 +215,13 @@ fn shift_range(dest: ValueRange, delta: i128) -> ValueRange {
 /// The `lookup_table` of Algorithm 2 / Table III: given that the result of
 /// `rec` must lie in `dest`, invert the instruction semantics to bound
 /// operand `slot`. `None` = unconstrained (conservative).
-fn operand_range(op: &Op, slot: usize, rec: &DynInst, dest: ValueRange) -> Option<ValueRange> {
+///
+/// Public so the differential oracle (`epvf-oracle`) can brute-force every
+/// Table III row against direct enumeration at small bit widths, and so
+/// disagreement repros can report the inverted range that produced a
+/// prediction. A returned range always contains the operand's golden-run
+/// value (the safety valve drops inversions that would not).
+pub fn operand_range(op: &Op, slot: usize, rec: &DynInst, dest: ValueRange) -> Option<ValueRange> {
     let opv = |i: usize| rec.operands.get(i).map(|o| o.bits).unwrap_or(0);
     let out = match op {
         // Row 1: add — Max(op) = Max(dest) − other.

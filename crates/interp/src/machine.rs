@@ -56,6 +56,45 @@ pub struct InjectionSpec {
     pub bit: u8,
 }
 
+impl fmt::Display for InjectionSpec {
+    /// Canonical `dyn_idx:slot:bit` form — the spec notation used in oracle
+    /// repro files and accepted back by the `FromStr` impl.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.dyn_idx, self.operand_slot, self.bit)
+    }
+}
+
+impl std::str::FromStr for InjectionSpec {
+    type Err = String;
+
+    /// Parse the `dyn_idx:slot:bit` form produced by `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("spec `{s}`: missing {what}"))
+        };
+        let dyn_idx = next("dyn_idx")?
+            .parse()
+            .map_err(|e| format!("spec `{s}`: bad dyn_idx: {e}"))?;
+        let operand_slot = next("operand slot")?
+            .parse()
+            .map_err(|e| format!("spec `{s}`: bad operand slot: {e}"))?;
+        let bit = next("bit")?
+            .parse()
+            .map_err(|e| format!("spec `{s}`: bad bit: {e}"))?;
+        if parts.next().is_some() {
+            return Err(format!("spec `{s}`: trailing fields"));
+        }
+        Ok(InjectionSpec {
+            dyn_idx,
+            operand_slot,
+            bit,
+        })
+    }
+}
+
 /// Where a generalized fault lands within the target instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum FaultTarget {

@@ -2,9 +2,9 @@
 //! fault-injection ground truth (paper §IV-B, Figs. 6–7).
 
 use crate::campaign::{Campaign, CampaignResult, InjOutcome};
+use crate::site::injectable_operand;
 use epvf_core::CrashMap;
 use epvf_interp::InjectionSpec;
-use epvf_ir::Value;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -87,16 +87,10 @@ pub fn predicted_crash_specs(campaign: &Campaign<'_>, crash_map: &CrashMap) -> V
         let Some(rec) = trace.get(dyn_idx) else {
             continue;
         };
-        let Some(op) = rec.operands.get(slot) else {
+        let Some(width) = injectable_operand(module, rec, slot) else {
             continue;
         };
-        if op.src.is_none() || !matches!(op.value, Value::Reg(_)) {
-            continue;
-        }
-        let width = match op.value {
-            Value::Reg(r) => module.functions[rec.func.index()].value_types[r.index()].bits(),
-            _ => unreachable!("filtered above"),
-        };
+        let op = &rec.operands[slot];
         for bit in c.range.crash_bits(op.bits, width.min(c.width)) {
             specs.push(InjectionSpec {
                 dyn_idx,
@@ -142,7 +136,7 @@ mod tests {
     use super::*;
     use crate::campaign::CampaignConfig;
     use epvf_core::{analyze, EpvfConfig};
-    use epvf_ir::{IcmpPred, Module, ModuleBuilder, Type};
+    use epvf_ir::{IcmpPred, Module, ModuleBuilder, Type, Value};
 
     fn kernel_module() -> Module {
         let mut mb = ModuleBuilder::new("k");

@@ -51,5 +51,5 @@ pub use accuracy::{
 pub use campaign::{
     Campaign, CampaignConfig, CampaignError, CampaignResult, InjOutcome, OutputCompare,
 };
-pub use site::{InjectionSite, SiteTable};
+pub use site::{injectable_operand, InjectionSite, SiteTable};
 pub use stats::{ci95, geomean, mean};

@@ -7,9 +7,23 @@
 //! receive proportionally more faults — the same space the analytical
 //! crash-rate estimate integrates over.
 
-use epvf_interp::{InjectionSpec, Trace};
+use epvf_interp::{DynInst, InjectionSpec, Trace};
 use epvf_ir::{Module, Value};
 use rand::Rng;
+
+/// Width in bits of the injectable register-operand read at `(rec, slot)`,
+/// or `None` if that operand is not an injection site (constant, global, or
+/// a register without a recorded producer).
+///
+/// This is the single definition of "injectable site". [`SiteTable`] (random
+/// campaigns), the targeted precision study, and the exhaustive oracle all
+/// go through it, so their site universes can never diverge.
+pub fn injectable_operand(module: &Module, rec: &DynInst, slot: usize) -> Option<u32> {
+    let op = rec.operands.get(slot)?;
+    let Value::Reg(r) = op.value else { return None };
+    op.src?;
+    Some(module.functions[rec.func.index()].value_types[r.index()].bits())
+}
 
 /// One injectable operand read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +52,10 @@ impl SiteTable {
         let mut cum = Vec::new();
         let mut total = 0u64;
         for rec in trace {
-            let func = &module.functions[rec.func.index()];
-            for (slot, op) in rec.operands.iter().enumerate() {
-                let Value::Reg(r) = op.value else { continue };
-                if op.src.is_none() {
+            for slot in 0..rec.operands.len() {
+                let Some(width) = injectable_operand(module, rec, slot) else {
                     continue;
-                }
-                let width = func.value_types[r.index()].bits();
+                };
                 total += u64::from(width);
                 sites.push(InjectionSite {
                     dyn_idx: rec.idx,
@@ -75,6 +86,20 @@ impl SiteTable {
     /// The sites in trace order.
     pub fn sites(&self) -> &[InjectionSite] {
         &self.sites
+    }
+
+    /// Exhaustively enumerate every `(site, bit)` spec, in trace order with
+    /// bits ascending — the oracle's ground-truth universe. [`Self::sample`]
+    /// draws uniformly from exactly this set, so `specs().count()` equals
+    /// [`Self::total_bits`] by construction.
+    pub fn specs(&self) -> impl Iterator<Item = InjectionSpec> + '_ {
+        self.sites.iter().flat_map(|s| {
+            (0..s.width as u8).map(move |bit| InjectionSpec {
+                dyn_idx: s.dyn_idx,
+                operand_slot: s.slot,
+                bit,
+            })
+        })
     }
 
     /// Draw one `(site, bit)` pair uniformly.
@@ -147,6 +172,24 @@ mod tests {
         }
         // 192 of 256 bits are in 64-bit operands → expect ~75% of draws.
         assert!(hit_wide > 1300 && hit_wide < 1700, "hit_wide = {hit_wide}");
+    }
+
+    #[test]
+    fn exhaustive_specs_cover_exactly_the_sample_space() {
+        let t = table();
+        let specs: Vec<_> = t.specs().collect();
+        assert_eq!(specs.len() as u64, t.total_bits());
+        // Strictly ordered → no duplicates, and every sampled spec is a
+        // member of the enumerated universe.
+        assert!(specs
+            .windows(2)
+            .all(|w| (w[0].dyn_idx, w[0].operand_slot, w[0].bit)
+                < (w[1].dyn_idx, w[1].operand_slot, w[1].bit)));
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = t.sample(&mut rng);
+            assert!(specs.contains(&s));
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `/proc/self/maps` at every load and store (§III-D "Obtaining the segment
 //! boundaries").
 
+use crate::memory::{AlignmentPolicy, PAGE_SIZE, STACK_GUARD_WINDOW};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -117,6 +118,54 @@ impl MemoryMap {
         self.vmas.iter_mut().find(|v| v.kind == kind)
     }
 
+    /// Whether an access of `size` bytes at `addr` under stack pointer `sp`
+    /// *provably* faults given only this map snapshot — the pure,
+    /// side-effect-free core of [`crate::SimMemory::check_access`].
+    ///
+    /// The decision is one-sided on purpose: `true` means the live memory
+    /// would fault the access (misalignment, or no VMA contains it and the
+    /// kernel's stack-expansion rule cannot save it); `false` means it *may*
+    /// succeed. The snapshot does not carry the RLIMIT_STACK floor, so an
+    /// in-window below-stack access is treated as expandable even when the
+    /// rlimit would in fact refuse — keeping `true` a sound subset of the
+    /// real fault decision. The exhaustive oracle (`epvf-oracle`) uses this
+    /// as a model-independent hard invariant on direct address-operand
+    /// flips.
+    pub fn definitely_faults(
+        &self,
+        addr: u64,
+        size: u64,
+        sp: u64,
+        alignment: AlignmentPolicy,
+    ) -> bool {
+        if let AlignmentPolicy::FourByte = alignment {
+            if size >= 4 && !addr.is_multiple_of(4) {
+                return true;
+            }
+        }
+        let Some(last) = addr.checked_add(size.saturating_sub(1)) else {
+            return true;
+        };
+        if self.byte_definitely_faults(addr, sp) {
+            return true;
+        }
+        // Mirror `check_access`: a page-straddling access is validated at
+        // both ends (the two bytes can get different VMA decisions).
+        last & !(PAGE_SIZE - 1) != addr & !(PAGE_SIZE - 1) && self.byte_definitely_faults(last, sp)
+    }
+
+    fn byte_definitely_faults(&self, addr: u64, sp: u64) -> bool {
+        if self.locate(addr).is_some() {
+            return false;
+        }
+        let Some(stack) = self.find_kind(SegmentKind::Stack) else {
+            return true;
+        };
+        let in_stack_gap = addr < stack.start;
+        let within_window = addr >= sp.saturating_sub(STACK_GUARD_WINDOW);
+        !(in_stack_gap && within_window)
+    }
+
     /// Render in `/proc/self/maps` style — useful in examples and debugging.
     pub fn render(&self) -> String {
         use fmt::Write as _;
@@ -202,6 +251,37 @@ mod tests {
         assert!(!v.contains(0x20));
         assert_eq!(v.len(), 0x10);
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn definitely_faults_is_sound_against_live_memory() {
+        use crate::memory::{MemConfig, SimMemory};
+        let mut mem = SimMemory::new(MemConfig::default());
+        let heap = mem.malloc(4096).expect("heap alloc");
+        let sp = mem.stack_top() - 512;
+        mem.grow_stack_to(sp).expect("stack fits");
+        let map = mem.snapshot_map();
+        let mut probes = vec![0u64, 1, 4, heap, heap + 4092, heap + 4096, sp, sp - 1];
+        for bit in 0..64 {
+            probes.push(heap ^ (1u64 << bit));
+            probes.push(sp ^ (1u64 << bit));
+        }
+        for &addr in &probes {
+            for size in [1u64, 4, 8] {
+                let says_faults = map.definitely_faults(addr, size, sp, AlignmentPolicy::FourByte);
+                let really_faults = mem.clone().check_access(addr, size, sp).is_err();
+                // One-sided soundness: a predicted fault must be real. (A
+                // predicted success may still fault via the rlimit floor the
+                // snapshot does not carry.)
+                assert!(
+                    !says_faults || really_faults,
+                    "addr {addr:#x} size {size}: predicted fault but access succeeded"
+                );
+            }
+        }
+        // And it does claim faults where they obviously exist.
+        assert!(map.definitely_faults(1, 1, sp, AlignmentPolicy::FourByte));
+        assert!(map.definitely_faults(3, 8, sp, AlignmentPolicy::FourByte));
     }
 
     #[test]
