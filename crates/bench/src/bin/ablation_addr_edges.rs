@@ -51,4 +51,5 @@ fn main() {
         ],
         &rows,
     );
+    epvf_bench::emit_metrics("ablation_addr_edges", &opts);
 }

@@ -1,9 +1,8 @@
 //! Ablation/scalability: serial vs parallel propagation wall time (§VI-A),
 //! at the standard workload scale where the models dominate.
 
-use epvf_bench::{analyze_workload, print_table, HarnessOpts};
+use epvf_bench::{analyze_workload, print_table, timed, HarnessOpts};
 use epvf_core::{propagate, propagate_parallel, CrashModelConfig};
-use std::time::Instant;
 
 fn main() {
     let mut opts = HarnessOpts::from_args();
@@ -13,25 +12,25 @@ fn main() {
     for w in opts.workloads() {
         let a = analyze_workload(&w);
         let trace = a.golden().trace.as_ref().expect("traced");
-        let t0 = Instant::now();
-        let serial = propagate(
-            &w.module,
-            trace,
-            &a.analysis.ddg,
-            &a.analysis.ace,
-            CrashModelConfig::default(),
-        );
-        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let par = propagate_parallel(
-            &w.module,
-            trace,
-            &a.analysis.ddg,
-            &a.analysis.ace,
-            CrashModelConfig::default(),
-            threads,
-        );
-        let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let (serial, serial_ms) = timed(|| {
+            propagate(
+                &w.module,
+                trace,
+                &a.analysis.ddg,
+                &a.analysis.ace,
+                CrashModelConfig::default(),
+            )
+        });
+        let (par, par_ms) = timed(|| {
+            propagate_parallel(
+                &w.module,
+                trace,
+                &a.analysis.ddg,
+                &a.analysis.ace,
+                CrashModelConfig::default(),
+                threads,
+            )
+        });
         assert_eq!(
             serial.total_use_crash_bits(),
             par.total_use_crash_bits(),
@@ -50,4 +49,5 @@ fn main() {
         &["benchmark", "serial (ms)", "parallel (ms)", "speedup"],
         &rows,
     );
+    epvf_bench::emit_metrics("ablation_parallel", &opts);
 }

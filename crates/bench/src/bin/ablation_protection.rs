@@ -68,4 +68,5 @@ fn main() {
     );
     println!("\nshape to check: SDC decreases monotonically with budget; ePVF ranking");
     println!("dominates at equal budget on SDC-heavy kernels.");
+    epvf_bench::emit_metrics("ablation_protection", &opts);
 }

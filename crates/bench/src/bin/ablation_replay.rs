@@ -8,10 +8,9 @@
 //! golden run) — and the two `CampaignResult`s are asserted identical.
 //! The table reports wall time and speedup.
 
-use epvf_bench::{print_table, HarnessOpts};
+use epvf_bench::{print_table, timed, HarnessOpts};
 use epvf_llfi::{Campaign, CampaignConfig};
 use epvf_workloads::Workload;
-use std::time::Instant;
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -32,14 +31,10 @@ fn main() {
         };
 
         let full = Campaign::new(&w.module, Workload::ENTRY, &w.args, full_cfg).expect("golden");
-        let t0 = Instant::now();
-        let full_res = full.run(opts.runs, opts.seed);
-        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (full_res, full_ms) = timed(|| full.run(opts.runs, opts.seed));
 
         let ckpt = Campaign::new(&w.module, Workload::ENTRY, &w.args, ckpt_cfg).expect("golden");
-        let t1 = Instant::now();
-        let ckpt_res = ckpt.run(opts.runs, opts.seed);
-        let ckpt_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let (ckpt_res, ckpt_ms) = timed(|| ckpt.run(opts.runs, opts.seed));
 
         assert_eq!(
             full_res, ckpt_res,
@@ -71,4 +66,5 @@ fn main() {
         ],
         &rows,
     );
+    epvf_bench::emit_metrics("ablation_replay", &opts);
 }

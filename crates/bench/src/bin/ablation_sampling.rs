@@ -31,4 +31,5 @@ fn main() {
         &["benchmark", "full", "p=1%", "p=5%", "p=10%", "p=25%"],
         &rows,
     );
+    epvf_bench::emit_metrics("ablation_sampling", &opts);
 }

@@ -65,4 +65,5 @@ fn main() {
     println!("\npaper context: Fig. 8's lavaMD/lulesh misses stem from ACE graphs");
     println!("covering only 70–80% of the DDG; the all-accesses scope removes the");
     println!("dependence on coverage.");
+    epvf_bench::emit_metrics("ablation_scope", &opts);
 }

@@ -78,4 +78,5 @@ fn main() {
     println!("\npaper: 89% recall / 92% precision, with the shortfall attributed to");
     println!("exactly this class of environment non-determinism; the slack sweep");
     println!("shows both degrade as the profiled and injected layouts diverge.");
+    epvf_bench::emit_metrics("accuracy_noise", &opts);
 }

@@ -41,4 +41,5 @@ fn main() {
     }
     println!("\n§VIII: these classes are the candidates for selective hardware");
     println!("protection (e.g. ECC on the registers feeding them).");
+    epvf_bench::emit_metrics("census", &opts);
 }

@@ -57,4 +57,5 @@ fn main() {
     println!("τ* scales with 1/√P(crash), so even the worst crash-rate misestimate");
     println!("perturbs the chosen interval by only a few percent — the analytic model");
     println!("can size checkpoint intervals without any fault-injection campaign.");
+    epvf_bench::emit_metrics("checkpoint", &opts);
 }

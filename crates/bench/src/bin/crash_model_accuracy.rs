@@ -103,4 +103,5 @@ fn main() {
         pct(actual_crashes as f64 / cases.max(1) as f64)
     );
     println!("paper: ~85% naive → >99.5% with the kernel-accurate rule.");
+    epvf_bench::emit_metrics("crash_model_accuracy", &opts);
 }

@@ -89,4 +89,5 @@ fn main() {
     println!("them); destination faults land proportionally more often in data values");
     println!("and skew toward SDC. The fault-model choice matters — which is why this");
     println!("reproduction implements the paper's stated source-register model.");
+    epvf_bench::emit_metrics("fault_model", &opts);
 }

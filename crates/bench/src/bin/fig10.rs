@@ -24,4 +24,5 @@ fn main() {
         &["benchmark", "graph (ms)", "models (ms)", "models share"],
         &rows,
     );
+    epvf_bench::emit_metrics("fig10", &opts);
 }

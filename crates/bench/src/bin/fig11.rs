@@ -50,4 +50,5 @@ fn main() {
     );
     println!("\npaper: <1% mean error for repetitive benchmarks; normalized variance");
     println!("low (0.04–0.6) where sampling works, high (1.9, lud) where it does not.");
+    epvf_bench::emit_metrics("fig11", &opts);
 }

@@ -51,4 +51,5 @@ fn main() {
         );
     }
     println!("\npaper: the PVF CDF has a sharp spike near 1; ePVF is spread out.");
+    epvf_bench::emit_metrics("fig12", &opts);
 }

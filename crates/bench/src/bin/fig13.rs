@@ -122,4 +122,5 @@ fn main() {
     println!("hotspot. here: ePVF wins the geomean, clearly on the value-chain");
     println!("kernels (mm, lud); hot-path wins pathfinder/nw, where control faults");
     println!("dominate SDCs — this reproduction's analogue of the hotspot exception.");
+    epvf_bench::emit_metrics("fig13", &opts);
 }

@@ -32,4 +32,5 @@ fn main() {
         pct(mean(&crash)),
         pct(mean(&sdc))
     );
+    epvf_bench::emit_metrics("fig5", &opts);
 }

@@ -30,4 +30,5 @@ fn main() {
         "\nmean recall {}   (paper: 89%, range 85–92%)",
         pct(mean(&recalls))
     );
+    epvf_bench::emit_metrics("fig6", &opts);
 }

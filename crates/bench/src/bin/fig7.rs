@@ -30,4 +30,5 @@ fn main() {
         "\nmean precision {}   (paper: 92%, range 86–98%)",
         pct(mean(&precisions))
     );
+    epvf_bench::emit_metrics("fig7", &opts);
 }

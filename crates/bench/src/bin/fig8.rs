@@ -32,4 +32,5 @@ fn main() {
     );
     println!("\npaper: estimates within or close to the CI except lavaMD and lulesh,");
     println!("whose ACE graphs cover only 70–80% of the DDG.");
+    epvf_bench::emit_metrics("fig8", &opts);
 }

@@ -43,4 +43,5 @@ fn main() {
         pct(mean(&reductions))
     );
     println!("shape to check: SDC ≤ ePVF ≤ PVF for every benchmark.");
+    epvf_bench::emit_metrics("fig9", &opts);
 }

@@ -71,4 +71,5 @@ fn main() {
     );
     println!("\nclaim to check (paper §II-E, citing [25, 26]): SDC impact differs only");
     println!("marginally between single- and multi-bit flips; crashes grow with width.");
+    epvf_bench::emit_metrics("multibit", &opts);
 }

@@ -3,7 +3,7 @@
 //! the paper's Table V recall/precision validation, with every disagreement
 //! class tallied. See `DESIGN.md` §8.
 
-use epvf_bench::{pct, print_table, HarnessOpts};
+use epvf_bench::{pct, print_table, timed, HarnessOpts};
 use epvf_core::{analyze, CrashScope, EpvfConfig};
 use epvf_llfi::Campaign;
 use epvf_oracle::{
@@ -11,7 +11,6 @@ use epvf_oracle::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Generated programs in the pooled differential section.
 const GEN_PROGRAMS: usize = 200;
@@ -20,28 +19,30 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let mut rows = Vec::new();
     for w in opts.workloads() {
-        let t0 = Instant::now();
-        let campaign = Campaign::new(&w.module, "main", &w.args, opts.campaign_config())
-            .expect("golden run completes");
-        let trace = campaign.golden().trace.as_ref().expect("traced");
-        let res = analyze(&w.module, trace, EpvfConfig::default());
-        let gt = sweep(&campaign, 0);
-        let report = differential_check(&campaign, &res, &gt, 0);
-        let violations = hard_invariant_scan(&campaign, &res, &gt);
-        assert!(violations.is_empty(), "{}: {violations:?}", w.name);
-        let c = report.confusion;
-        let [crash, sdc, benign, _, _] = gt.tally();
-        rows.push(vec![
-            w.name.to_string(),
-            gt.universe.to_string(),
-            crash.to_string(),
-            sdc.to_string(),
-            benign.to_string(),
-            pct(c.recall()),
-            pct(c.precision()),
-            report.total_disagreements.to_string(),
-            format!("{:.1}", t0.elapsed().as_secs_f64()),
-        ]);
+        let (mut row, ms) = timed(|| {
+            let campaign = Campaign::new(&w.module, "main", &w.args, opts.campaign_config())
+                .expect("golden run completes");
+            let trace = campaign.golden().trace.as_ref().expect("traced");
+            let res = analyze(&w.module, trace, EpvfConfig::default());
+            let gt = sweep(&campaign, 0);
+            let report = differential_check(&campaign, &res, &gt, 0);
+            let violations = hard_invariant_scan(&campaign, &res, &gt);
+            assert!(violations.is_empty(), "{}: {violations:?}", w.name);
+            let c = report.confusion;
+            let [crash, sdc, benign, _, _] = gt.tally();
+            vec![
+                w.name.to_string(),
+                gt.universe.to_string(),
+                crash.to_string(),
+                sdc.to_string(),
+                benign.to_string(),
+                pct(c.recall()),
+                pct(c.precision()),
+                report.total_disagreements.to_string(),
+            ]
+        });
+        row.push(format!("{:.1}", ms / 1e3));
+        rows.push(row);
     }
     print_table(
         "Exhaustive oracle vs crash model (every injectable bit; paper Table V: recall 89%, precision 92%)",
@@ -60,18 +61,20 @@ fn main() {
         scope: CrashScope::AllAccesses,
         ..EpvfConfig::default()
     };
-    let t0 = Instant::now();
-    let mut pooled = Confusion::default();
-    let (mut universe, mut masked, mut hard) = (0u64, 0u64, 0u64);
-    for _ in 0..GEN_PROGRAMS {
-        let recipe = Recipe::random(&mut rng, &GenConfig::default());
-        let module = recipe.emit();
-        let o = check_module_with(&module, "main", &[], 0, scope);
-        pooled.merge(o.report.confusion);
-        universe += o.ground_truth.universe;
-        masked += o.report.masked_sdc;
-        hard += o.hard_violations.len() as u64;
-    }
+    let ((pooled, universe, masked, hard), gen_ms) = timed(|| {
+        let mut pooled = Confusion::default();
+        let (mut universe, mut masked, mut hard) = (0u64, 0u64, 0u64);
+        for _ in 0..GEN_PROGRAMS {
+            let recipe = Recipe::random(&mut rng, &GenConfig::default());
+            let module = recipe.emit();
+            let o = check_module_with(&module, "main", &[], 0, scope);
+            pooled.merge(o.report.confusion);
+            universe += o.ground_truth.universe;
+            masked += o.report.masked_sdc;
+            hard += o.hard_violations.len() as u64;
+        }
+        (pooled, universe, masked, hard)
+    });
     println!();
     print_table(
         "Generated-program differential (property-based, AllAccesses scope)",
@@ -91,7 +94,8 @@ fn main() {
             pct(pooled.precision()),
             masked.to_string(),
             hard.to_string(),
-            format!("{:.1}", t0.elapsed().as_secs_f64()),
+            format!("{:.1}", gen_ms / 1e3),
         ]],
     );
+    epvf_bench::emit_metrics("oracle_sweep", &opts);
 }

@@ -106,4 +106,5 @@ fn main() {
     );
     println!("\nevery benign fault here is ePVF overestimation; the paper names lucky");
     println!("loads, Y-branches, and application-level masking as the three sources.");
+    epvf_bench::emit_metrics("overestimation", &opts);
 }

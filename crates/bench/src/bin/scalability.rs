@@ -2,7 +2,7 @@
 //! ACE graph) grows. The paper argues the crash/propagation phase scales
 //! with the number of accesses times slice depth; this sweep measures it.
 
-use epvf_bench::print_table;
+use epvf_bench::{print_table, HarnessOpts};
 use epvf_core::{analyze, EpvfConfig};
 use epvf_llfi::{Campaign, CampaignConfig};
 use epvf_workloads::{mm, pathfinder, Workload};
@@ -28,6 +28,9 @@ fn measure(w: &Workload) -> Vec<String> {
 }
 
 fn main() {
+    // The sweep builds its own scaled inputs; the options only feed the
+    // metrics stamp (and `--metrics-out`).
+    let opts = HarnessOpts::from_args();
     let mut rows = Vec::new();
     for n in [8, 12, 16, 20, 24, 28] {
         let w = mm::build_n(n);
@@ -56,4 +59,5 @@ fn main() {
     println!("\nshape to check: model time grows roughly linearly with trace size");
     println!("(each access contributes one bounded backward-slice walk), and ePVF");
     println!("stays stable as the input scales — the property §IV-E sampling exploits.");
+    epvf_bench::emit_metrics("scalability", &opts);
 }

@@ -33,4 +33,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: SF averages 99% with a 96% minimum across benchmarks.");
+    epvf_bench::emit_metrics("table2", &opts);
 }

@@ -27,4 +27,5 @@ fn main() {
         ],
         &rows,
     );
+    epvf_bench::emit_metrics("table4", &opts);
 }

@@ -25,4 +25,5 @@ fn main() {
     );
     println!("\npaper: 30 s (lavaMD) to 5 h (pathfinder) in Python at up to 9.5M dyn insts;");
     println!("shape to check: time grows with ACE-graph size.");
+    epvf_bench::emit_metrics("table5", &opts);
 }

@@ -1,10 +1,13 @@
 //! Utility: per-workload trace/output sizes at every scale (backs the
 //! scale-calibration notes in EXPERIMENTS.md).
 
-use epvf_bench::print_table;
+use epvf_bench::{print_table, HarnessOpts};
 use epvf_workloads::{suite, Scale};
 
 fn main() {
+    // Iterates every scale itself; the options only feed the metrics
+    // stamp (and `--metrics-out`).
+    let opts = HarnessOpts::from_args();
     for scale in [Scale::Tiny, Scale::Small, Scale::Standard] {
         let mut rows = Vec::new();
         for w in suite(scale) {
@@ -21,4 +24,5 @@ fn main() {
             &rows,
         );
     }
+    epvf_bench::emit_metrics("trace_stats", &opts);
 }

@@ -13,14 +13,25 @@
 //! * `--bench NAME` — restrict to one benchmark;
 //! * `--ckpt-interval K` — replay checkpoint spacing in dynamic
 //!   instructions (0 disables checkpoint-resume; default automatic);
-//! * `--threads T` — campaign worker threads (default: all cores).
+//! * `--threads T` — campaign worker threads (default: all cores);
+//! * `--metrics-out FILE` — where to write the machine-readable metrics
+//!   document (default `results/BENCH_<harness>.json`).
+//!
+//! Besides the plain-text table on stdout, every harness finishes by
+//! calling [`emit_metrics`], which dumps the process-global telemetry
+//! registry — phase timers, campaign outcome tallies, interpreter work
+//! counters — as one line of versioned JSON stamped with the git commit
+//! and the harness configuration. `epvf metrics-check` validates these
+//! artifacts.
 
 #![warn(missing_docs)]
 
 use epvf_core::{analyze, EpvfConfig, EpvfResult};
 use epvf_interp::RunResult;
 use epvf_llfi::{Campaign, CampaignConfig, CampaignResult};
+use epvf_telemetry::{MetricsReport, Tmr};
 use epvf_workloads::{suite, Scale, Workload};
+use std::path::PathBuf;
 
 /// Common harness options.
 #[derive(Debug, Clone)]
@@ -37,6 +48,8 @@ pub struct HarnessOpts {
     pub ckpt_interval: Option<u64>,
     /// Campaign worker threads; `None` = all cores.
     pub threads: Option<usize>,
+    /// Metrics document path; `None` = `results/BENCH_<harness>.json`.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -48,6 +61,7 @@ impl Default for HarnessOpts {
             only: None,
             ckpt_interval: None,
             threads: None,
+            metrics_out: None,
         }
     }
 }
@@ -96,10 +110,16 @@ impl HarnessOpts {
                             .unwrap_or_else(|| die("--threads needs a number")),
                     );
                 }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| die("--metrics-out needs a path")),
+                    ));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --runs N  --seed S  --scale tiny|small|standard  --bench NAME  \
-                         --ckpt-interval K  --threads T"
+                         --ckpt-interval K  --threads T  --metrics-out FILE"
                     );
                     std::process::exit(0);
                 }
@@ -138,6 +158,63 @@ impl HarnessOpts {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Time one harness section through the shared telemetry registry.
+///
+/// Returns the closure's result and the elapsed wall time in
+/// milliseconds (for the human-readable tables); the same sample lands
+/// in the `bench.section` histogram of the emitted metrics document, so
+/// machine consumers never re-parse table cells.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    epvf_telemetry::time_ms(Tmr::BenchSection, f)
+}
+
+/// The current git commit (short), or `"unknown"` outside a checkout.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Write the harness's metrics document: the process-global telemetry
+/// snapshot stamped with the git commit and the harness configuration.
+///
+/// The path is `--metrics-out` when given, else
+/// `results/BENCH_<harness>.json`. The destination note goes to stderr so
+/// redirected stdout (the `.txt` table) is unaffected. Failures warn
+/// rather than abort — a read-only checkout must not kill a finished run.
+pub fn emit_metrics(harness: &str, opts: &HarnessOpts) {
+    let path = opts
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("results/BENCH_{harness}.json")));
+    let report = MetricsReport::new(epvf_telemetry::global_snapshot())
+        .with_meta("tool", "epvf-bench")
+        .with_meta("harness", harness)
+        .with_meta("git_sha", git_sha())
+        .with_meta("runs", opts.runs.to_string())
+        .with_meta("seed", opts.seed.to_string())
+        .with_meta("scale", format!("{:?}", opts.scale).to_lowercase())
+        .with_meta("bench", opts.only.as_deref().unwrap_or("all"))
+        .with_meta(
+            "ckpt_interval",
+            opts.ckpt_interval.map_or("auto".into(), |k| k.to_string()),
+        )
+        .with_meta(
+            "threads",
+            opts.threads.map_or("auto".into(), |t| t.to_string()),
+        );
+    match report.write_file(&path) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// One workload, analysed and campaigned — everything the harnesses need.

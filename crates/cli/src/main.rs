@@ -8,7 +8,12 @@
 //! epvf inject <target> [N] [SEED]    fault-injection campaign summary
 //! epvf oracle <target>               exhaustive ground truth vs the models
 //! epvf protect <target> [BUDGET]     §V selective-duplication comparison
+//! epvf metrics-check <file>...       validate --metrics-out / bench JSON
 //! ```
+//!
+//! Every command accepts `--metrics-out FILE`, which dumps the pipeline's
+//! telemetry registry (counters + phase timers) as one line of versioned
+//! JSON on successful exit.
 //!
 //! `<target>` is a built-in benchmark name (`epvf list`), optionally
 //! suffixed `:tiny` / `:small` / `:standard`, or a path to a textual IR
@@ -24,31 +29,122 @@ use epvf_oracle::{
     write_repros, ReproContext,
 };
 use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
+use epvf_telemetry::MetricsReport;
 use epvf_workloads::{by_name, extended_suite, Scale, Workload};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("dump") => with_target(&args, cmd_dump),
-        Some("run") => with_target(&args, cmd_run),
-        Some("analyze") => with_target(&args, cmd_analyze),
-        Some("inject") => with_target(&args, cmd_inject),
-        Some("oracle") => cmd_oracle(args.get(1..).unwrap_or(&[])),
-        Some("protect") => with_target(&args, cmd_protect),
-        Some("--help" | "-h" | "help") | None => {
-            eprint!("{}", USAGE);
-            Ok(())
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = match extract_metrics_out(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    // Scoped so the span lands in the registry before `write_metrics`
+    // snapshots it.
+    let result = {
+        let _span = epvf_telemetry::span(epvf_telemetry::Tmr::CliCommand);
+        match args.first().map(String::as_str) {
+            Some("list") => cmd_list(),
+            Some("dump") => with_target(&args, cmd_dump),
+            Some("run") => with_target(&args, cmd_run),
+            Some("analyze") => with_target(&args, cmd_analyze),
+            Some("inject") => with_target(&args, cmd_inject),
+            Some("oracle") => cmd_oracle(args.get(1..).unwrap_or(&[])),
+            Some("protect") => with_target(&args, cmd_protect),
+            Some("metrics-check") => cmd_metrics_check(args.get(1..).unwrap_or(&[])),
+            Some("--help" | "-h" | "help") | None => {
+                eprint!("{}", USAGE);
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        }
+    };
+    let result = result.and_then(|()| write_metrics(metrics_out.as_deref(), &args));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Pull `--metrics-out <path>` (valid on every command) out of the raw
+/// argument list so the per-command parsers never see it.
+fn extract_metrics_out(args: &mut Vec<String>) -> Result<Option<std::path::PathBuf>, String> {
+    let Some(i) = args.iter().position(|a| a == "--metrics-out") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--metrics-out needs a path".into());
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(path.into()))
+}
+
+/// Dump the process-global telemetry registry to `path` as one line of
+/// versioned JSON, stamped with the command line that produced it.
+fn write_metrics(path: Option<&std::path::Path>, args: &[String]) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let report = MetricsReport::new(epvf_telemetry::global_snapshot())
+        .with_meta("tool", "epvf")
+        .with_meta("command", args.first().map_or("", String::as_str))
+        .with_meta("argv", args.join(" "));
+    report
+        .write_file(path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Validate `--metrics-out` / `BENCH_*.json` artifacts: every line must
+/// parse under the current schema version and satisfy the pipeline's
+/// conservation laws.
+fn cmd_metrics_check(files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("metrics-check needs at least one file".into());
+    }
+    let mut bad = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let where_ = if text.lines().filter(|l| !l.trim().is_empty()).count() > 1 {
+                format!("{file}:{}", lineno + 1)
+            } else {
+                file.clone()
+            };
+            match MetricsReport::parse(line) {
+                Err(e) => {
+                    eprintln!("{where_}: schema error: {e}");
+                    bad += 1;
+                }
+                Ok(report) => {
+                    let violations = report.snapshot.check_conservation();
+                    for v in &violations {
+                        eprintln!("{where_}: conservation violation: {v}");
+                    }
+                    if violations.is_empty() {
+                        println!(
+                            "{where_}: ok ({} counters, {} timers)",
+                            report.snapshot.counters.len(),
+                            report.snapshot.timers.len()
+                        );
+                    } else {
+                        bad += 1;
+                    }
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        Err(format!("{bad} invalid metrics document(s)"))
+    } else {
+        Ok(())
     }
 }
 
@@ -71,6 +167,11 @@ usage: epvf <command> [args]
     --replay FILE              re-execute one .repro file instead
     --ckpt-interval K / --threads T   as for inject
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
+  metrics-check <file>...      validate metrics JSON artifacts (schema +
+                               conservation laws); nonzero exit on violation
+
+  --metrics-out FILE           (any command) write pipeline telemetry as
+                               one line of versioned JSON
 
 <target> = benchmark[:tiny|:small|:standard] or a .ir file path
 ";

@@ -81,6 +81,25 @@ fn inject_is_byte_stable_across_threads_and_checkpoints() {
 }
 
 #[test]
+fn metrics_out_does_not_perturb_stdout() {
+    let plain = run_epvf(&["analyze", "mm:tiny"]);
+    let mut path = std::env::temp_dir();
+    path.push(format!("epvf-golden-metrics-{}.json", std::process::id()));
+    let with_metrics = run_epvf(&[
+        "analyze",
+        "mm:tiny",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        normalize(&plain),
+        normalize(&with_metrics),
+        "--metrics-out must leave the human-facing output untouched"
+    );
+}
+
+#[test]
 fn oracle_output_is_byte_stable_across_threads() {
     let base = run_epvf(&["oracle", "mm:tiny", "--limit", "600", "--threads", "1"]);
     let multi = run_epvf(&["oracle", "mm:tiny", "--limit", "600", "--threads", "4"]);

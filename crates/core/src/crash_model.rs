@@ -54,6 +54,7 @@ impl Default for CrashModelConfig {
 /// range — if the accessed address is outside every segment (cannot happen
 /// for golden-run traces, whose accesses all succeeded).
 pub fn check_boundary(access: &MemAccessRec, config: CrashModelConfig) -> ValueRange {
+    epvf_telemetry::add(epvf_telemetry::Ctr::CrashBoundaryChecks, 1);
     let Some(vma) = access.map.locate(access.addr) else {
         return ValueRange::new(0, 0);
     };

@@ -111,6 +111,8 @@ pub fn trace_use_bits(module: &Module, trace: &Trace) -> u64 {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn analyze(module: &Module, trace: &Trace, config: EpvfConfig) -> EpvfResult {
+    epvf_telemetry::add(epvf_telemetry::Ctr::CoreAnalyses, 1);
+    epvf_telemetry::add(epvf_telemetry::Ctr::CoreTraceLen, trace.len() as u64);
     let t0 = Instant::now();
     let ddg = build_ddg(module, trace);
     let ace = AceGraph::compute(&ddg, config.ace);

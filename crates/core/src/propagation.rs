@@ -164,6 +164,7 @@ impl CrashMap {
             false
         } else {
             entry.range = merged;
+            epvf_telemetry::add(epvf_telemetry::Ctr::PropConstraintsTightened, 1);
             true
         }
     }
@@ -360,6 +361,7 @@ pub fn operand_range(op: &Op, slot: usize, rec: &DynInst, dest: ValueRange) -> O
     // otherwise the inversion hit a case outside the model's assumptions.
     let actual = opv(slot);
     if !out.contains(actual) {
+        epvf_telemetry::add(epvf_telemetry::Ctr::PropValveDrops, 1);
         return None;
     }
     Some(out)
@@ -387,6 +389,7 @@ pub fn propagate_scoped(
     config: CrashModelConfig,
     scope: CrashScope,
 ) -> CrashMap {
+    let _span = epvf_telemetry::span(epvf_telemetry::Tmr::CorePropagate);
     let index = InstIndex::new(module);
     let mut map = CrashMap::default();
     run_over(
@@ -429,6 +432,7 @@ pub fn propagate_parallel(
     if threads == 1 || trace.len() < config.parallel_cutoff {
         return propagate(module, trace, ddg, ace, config);
     }
+    let _span = epvf_telemetry::span(epvf_telemetry::Tmr::CorePropagate);
     let index = InstIndex::new(module);
     let chunk = (trace.len() as u64).div_ceil(threads as u64);
     let mut maps: Vec<CrashMap> = Vec::new();
@@ -491,6 +495,7 @@ fn run_over(
         if scope == CrashScope::AceOnly && !ace.contains(def_node) {
             continue;
         }
+        epvf_telemetry::add(epvf_telemetry::Ctr::PropSlicesWalked, 1);
         let range = check_boundary(mem, config);
         let addr_slot = if mem.is_store { 1 } else { 0 };
         let addr_op = rec.operands[addr_slot];

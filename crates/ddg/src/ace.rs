@@ -48,6 +48,7 @@ impl AceGraph {
     /// Run the reverse BFS from an explicit root subset — the primitive
     /// behind the §IV-E ACE-graph sampling (first *p%* of output nodes).
     pub fn from_roots(ddg: &Ddg, roots: &[NodeId]) -> Self {
+        let _span = epvf_telemetry::span(epvf_telemetry::Tmr::AceCompute);
         let mut in_ace = vec![false; ddg.len()];
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for &r in roots {
@@ -57,6 +58,7 @@ impl AceGraph {
             }
         }
         let mut nodes = Vec::new();
+        let mut frontier_peak = queue.len();
         while let Some(n) = queue.pop_front() {
             nodes.push(n);
             for &(d, _) in &ddg.node(n).deps {
@@ -65,7 +67,10 @@ impl AceGraph {
                     queue.push_back(d);
                 }
             }
+            frontier_peak = frontier_peak.max(queue.len());
         }
+        epvf_telemetry::add(epvf_telemetry::Ctr::AceNodesVisited, nodes.len() as u64);
+        epvf_telemetry::peak(epvf_telemetry::Ctr::AceFrontierPeak, frontier_peak as u64);
         nodes.sort_unstable();
         let register_bits = nodes
             .iter()

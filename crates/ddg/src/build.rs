@@ -218,6 +218,7 @@ pub fn build_ddg(module: &Module, trace: &Trace) -> Ddg {
 /// # Panics
 /// Panics under the same conditions as [`build_ddg`].
 pub fn build_ddg_with(module: &Module, trace: &Trace, config: DdgConfig) -> Ddg {
+    let _span = epvf_telemetry::span(epvf_telemetry::Tmr::DdgBuild);
     let index = InstIndex::new(module);
     let mut b = Builder {
         module,
@@ -232,6 +233,15 @@ pub fn build_ddg_with(module: &Module, trace: &Trace, config: DdgConfig) -> Ddg 
     for rec in trace {
         let inst = index.get(rec.sid);
         b.visit(rec, inst);
+    }
+    {
+        use epvf_telemetry::{add, Ctr};
+        add(Ctr::DdgBuilds, 1);
+        add(Ctr::DdgNodesCreated, b.nodes.len() as u64);
+        add(
+            Ctr::DdgEdgesCreated,
+            b.nodes.iter().map(|n| n.deps.len() as u64).sum(),
+        );
     }
     Ddg {
         nodes: b.nodes,

@@ -13,7 +13,8 @@ use epvf_ir::{
     BinOp, CastOp, FBinOp, FUnOp, FcmpPred, FuncId, IcmpPred, Inst, Module, Op, Type, Value,
     ValueId,
 };
-use epvf_memsim::{MemConfig, MemoryMap, SimMemory};
+use epvf_memsim::{MemConfig, MemStats, MemoryMap, SimMemory};
+use epvf_telemetry::{Ctr, Tmr};
 use std::fmt;
 use std::sync::Arc;
 
@@ -212,6 +213,7 @@ impl<'m> Interpreter<'m> {
     /// # Errors
     /// [`ExecError`] on unknown entry or arity mismatch.
     pub fn golden_run(&self, entry: &str, args: &[u64]) -> Result<RunResult, ExecError> {
+        let _span = epvf_telemetry::span(Tmr::InterpGoldenRun);
         let mut cfg = self.config;
         cfg.record_trace = true;
         Exec::new(self.module, cfg, None).run(entry, args)
@@ -255,6 +257,7 @@ impl<'m> Interpreter<'m> {
     /// the injection point (`snapshot.dyn_count() <= spec.dyn_idx`);
     /// otherwise the fault can never fire.
     pub fn run_injected_from(&self, snapshot: &Snapshot, spec: InjectionSpec) -> RunResult {
+        let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
         let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
         exec.run_resumed_to_result()
     }
@@ -272,6 +275,7 @@ impl<'m> Interpreter<'m> {
         spec: InjectionSpec,
         rendezvous: &[Snapshot],
     ) -> ReplayOutcome {
+        let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
         let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
         exec.rendezvous = Some(Rendezvous {
             snaps: rendezvous,
@@ -280,7 +284,10 @@ impl<'m> Interpreter<'m> {
         });
         match exec.exec_loop() {
             End::Outcome(outcome) => ReplayOutcome::Finished(exec.take_result(outcome)),
-            End::Rejoined { at } => ReplayOutcome::Rejoined { at_dyn: at },
+            End::Rejoined { at } => {
+                exec.flush_telemetry();
+                ReplayOutcome::Rejoined { at_dyn: at }
+            }
         }
     }
 
@@ -294,6 +301,7 @@ impl<'m> Interpreter<'m> {
         args: &[u64],
         spec: InjectionSpec,
     ) -> Result<RunResult, ExecError> {
+        let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
         self.run_inner(entry, args, Some(spec.into()))
     }
 
@@ -412,6 +420,15 @@ struct Exec<'m, 'r> {
     map_cache: Option<(u64, Arc<MemoryMap>)>,
     ckpt: Option<CkptCollector>,
     rendezvous: Option<Rendezvous<'r>>,
+    /// Telemetry accumulated locally (plain integers on the hot path) and
+    /// flushed to the global registry once, when the run ends. `dyn_base`
+    /// and `mem_stats_base` baseline resumed runs so only the replayed
+    /// suffix is charged.
+    loads: u64,
+    stores: u64,
+    dyn_base: u64,
+    mem_stats_base: MemStats,
+    flushed: bool,
 }
 
 /// How `exec_loop` ended.
@@ -450,6 +467,11 @@ impl<'m, 'r> Exec<'m, 'r> {
             map_cache: None,
             ckpt: None,
             rendezvous: None,
+            loads: 0,
+            stores: 0,
+            dyn_base: 0,
+            mem_stats_base: MemStats::default(),
+            flushed: false,
         }
     }
 
@@ -479,6 +501,11 @@ impl<'m, 'r> Exec<'m, 'r> {
             map_cache: None,
             ckpt: None,
             rendezvous: None,
+            loads: 0,
+            stores: 0,
+            dyn_base: snap.dyn_count,
+            mem_stats_base: snap.mem.stats(),
+            flushed: false,
         }
     }
 
@@ -570,7 +597,32 @@ impl<'m, 'r> Exec<'m, 'r> {
         self.take_result(outcome)
     }
 
+    /// Publish this run's locally accumulated telemetry to the global
+    /// registry. Idempotent; called from every run-termination path (the
+    /// rendezvous early-exit bypasses `take_result`).
+    fn flush_telemetry(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        let insts = self.dyn_count - self.dyn_base;
+        epvf_telemetry::add(Ctr::InterpRuns, 1);
+        epvf_telemetry::add(Ctr::InterpInstsRetired, insts);
+        epvf_telemetry::add(Ctr::InterpLoads, self.loads);
+        epvf_telemetry::add(Ctr::InterpStores, self.stores);
+        if self.config.record_trace && self.injection.is_none() {
+            epvf_telemetry::add(Ctr::InterpGoldenInstsRetired, insts);
+            epvf_telemetry::add(Ctr::InterpGoldenLoads, self.loads);
+            epvf_telemetry::add(Ctr::InterpGoldenStores, self.stores);
+        }
+        let mem = self.mem.stats().delta_since(self.mem_stats_base);
+        epvf_telemetry::add(Ctr::MemFaultChecks, mem.fault_checks);
+        epvf_telemetry::add(Ctr::MemCowPageCopies, mem.cow_page_copies);
+        epvf_telemetry::add(Ctr::MemPagesMaterialized, mem.pages_materialized);
+    }
+
     fn take_result(&mut self, outcome: Outcome) -> RunResult {
+        self.flush_telemetry();
         RunResult {
             outcome,
             outputs: std::mem::take(&mut self.outputs),
@@ -596,6 +648,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             let c = self.ckpt.as_mut().expect("checked above");
             c.next_at = self.dyn_count + c.interval;
             c.snaps.push(snap);
+            epvf_telemetry::add(Ctr::InterpCheckpointsTaken, 1);
         }
     }
 
@@ -869,6 +922,7 @@ impl<'m, 'r> Exec<'m, 'r> {
                 let (ap, _) = read!(0, *addr);
                 let sp = self.frames.last().expect("frame exists").sp;
                 let size = ty.bytes();
+                self.loads += 1;
                 match self.mem.read(ap, size, sp) {
                     Ok(v) => {
                         if tracing {
@@ -894,6 +948,7 @@ impl<'m, 'r> Exec<'m, 'r> {
                 let (ap, _) = read!(1, *addr);
                 let sp = self.frames.last().expect("frame exists").sp;
                 let size = ty.bytes();
+                self.stores += 1;
                 match self.mem.write(ap, size, ty.truncate_payload(vv), sp) {
                     Ok(()) => {
                         if tracing {

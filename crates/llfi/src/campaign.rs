@@ -12,6 +12,7 @@ use epvf_interp::{
     RunResult, Snapshot,
 };
 use epvf_ir::Module;
+use epvf_telemetry::{Ctr, Progress, Tmr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,19 @@ impl InjOutcome {
     /// Whether the run crashed (any exception class).
     pub fn is_crash(self) -> bool {
         matches!(self, InjOutcome::Crash(_))
+    }
+
+    /// The outcome-class counter this classification lands in. The five
+    /// classes partition `llfi.campaign.runs_total` — the conservation law
+    /// `epvf metrics-check` enforces.
+    fn counter(self) -> Ctr {
+        match self {
+            InjOutcome::Benign => Ctr::CampaignRunsBenign,
+            InjOutcome::Sdc => Ctr::CampaignRunsSdc,
+            InjOutcome::Crash(_) => Ctr::CampaignRunsCrash,
+            InjOutcome::Hang => Ctr::CampaignRunsHang,
+            InjOutcome::Detected => Ctr::CampaignRunsDetected,
+        }
     }
 }
 
@@ -354,18 +368,27 @@ impl<'m> Campaign<'m> {
         let idx = self
             .ckpts
             .partition_point(|s| s.dyn_count() <= spec.dyn_idx);
-        if idx == 0 {
+        let outcome = if idx == 0 {
             // Checkpointing off (or no usable checkpoint): from scratch.
+            epvf_telemetry::add(Ctr::CampaignScratchRuns, 1);
             let res = interp
                 .run_injected(&self.entry, &self.args, spec)
                 .expect("entry validated at construction");
-            return self.classify(&res);
-        }
-        let base = &self.ckpts[idx - 1];
-        match interp.replay_injected_from(base, spec, &self.ckpts[idx..]) {
-            ReplayOutcome::Finished(res) => self.classify(&res),
-            ReplayOutcome::Rejoined { .. } => InjOutcome::Benign,
-        }
+            self.classify(&res)
+        } else {
+            epvf_telemetry::add(Ctr::CampaignResumedRuns, 1);
+            let base = &self.ckpts[idx - 1];
+            match interp.replay_injected_from(base, spec, &self.ckpts[idx..]) {
+                ReplayOutcome::Finished(res) => self.classify(&res),
+                ReplayOutcome::Rejoined { .. } => {
+                    epvf_telemetry::add(Ctr::CampaignEarlyBenign, 1);
+                    InjOutcome::Benign
+                }
+            }
+        };
+        epvf_telemetry::add(Ctr::CampaignRunsTotal, 1);
+        epvf_telemetry::add(outcome.counter(), 1);
+        outcome
     }
 
     /// Classify a finished run against the golden output.
@@ -406,28 +429,37 @@ impl<'m> Campaign<'m> {
     /// scattered back into the input order, so a [`CampaignResult`] is
     /// byte-identical regardless of thread count.
     pub fn run_specs(&self, specs: &[InjectionSpec]) -> CampaignResult {
+        let _span = epvf_telemetry::span(Tmr::CampaignRun);
+        let progress = Progress::new(&format!("inject {}", self.entry), specs.len() as u64);
         let threads = self.config.threads.max(1);
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by_key(|&i| (specs[i].dyn_idx, i));
         let mut outcomes: Vec<Option<InjOutcome>> = vec![None; specs.len()];
         if threads == 1 || specs.len() < 32 {
-            for &i in &order {
+            for (done, &i) in order.iter().enumerate() {
                 outcomes[i] = Some(self.run_spec(specs[i]));
+                progress.tick(done as u64 + 1);
             }
         } else {
             let cursor = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
             let order = &order;
             let cursor = &cursor;
+            let done = &done;
+            let progress = &progress;
             let locals: Vec<Vec<(usize, InjOutcome)>> = crossbeam::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(move |_| {
+                            epvf_telemetry::add(Ctr::CampaignWorkerBatches, 1);
                             let mut local = Vec::new();
                             loop {
                                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&i) = order.get(k) else { break };
                                 local.push((i, self.run_spec(specs[i])));
+                                progress.tick(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
                             }
+                            epvf_telemetry::add(Ctr::CampaignStealOps, local.len() as u64);
                             local
                         })
                     })
@@ -442,6 +474,7 @@ impl<'m> Campaign<'m> {
                 outcomes[i] = Some(o);
             }
         }
+        progress.finish();
         let runs = specs
             .iter()
             .zip(outcomes)

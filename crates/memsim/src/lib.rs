@@ -44,7 +44,7 @@ mod vma;
 
 pub use fault::AccessError;
 pub use memory::{
-    AlignmentPolicy, MemConfig, SimMemory, DATA_BASE, DEFAULT_STACK_LIMIT, HEAP_BASE, HEAP_SPAN,
-    PAGE_SIZE, STACK_GUARD_WINDOW, STACK_TOP, TEXT_BASE, TEXT_SIZE,
+    AlignmentPolicy, MemConfig, MemStats, SimMemory, DATA_BASE, DEFAULT_STACK_LIMIT, HEAP_BASE,
+    HEAP_SPAN, PAGE_SIZE, STACK_GUARD_WINDOW, STACK_TOP, TEXT_BASE, TEXT_SIZE,
 };
 pub use vma::{MemoryMap, SegmentKind, Vma};

@@ -81,6 +81,36 @@ impl Default for MemConfig {
     }
 }
 
+/// Plain counters of memory-simulator activity, accumulated per address
+/// space. Deliberately non-atomic: `SimMemory` is single-owner on hot
+/// paths, and a cloned space (checkpoint) inherits its parent's totals, so
+/// consumers that want per-run numbers read a baseline at clone/resume time
+/// and report [`MemStats::delta_since`] that baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Access-validity decisions taken ([`SimMemory::check_access`] calls —
+    /// the simulated Fig. 4 kernel logic).
+    pub fault_checks: u64,
+    /// Shared pages copied on write after a snapshot clone.
+    pub cow_page_copies: u64,
+    /// Zero pages materialized on first write.
+    pub pages_materialized: u64,
+}
+
+impl MemStats {
+    /// Component-wise `self − base` (saturating), for per-run deltas
+    /// against a baseline captured at clone/resume time.
+    pub fn delta_since(self, base: MemStats) -> MemStats {
+        MemStats {
+            fault_checks: self.fault_checks.saturating_sub(base.fault_checks),
+            cow_page_copies: self.cow_page_copies.saturating_sub(base.cow_page_copies),
+            pages_materialized: self
+                .pages_materialized
+                .saturating_sub(base.pages_materialized),
+        }
+    }
+}
+
 /// The sparse, paged, segment-aware simulated memory.
 ///
 /// # Examples
@@ -115,6 +145,9 @@ pub struct SimMemory {
     heap_max: u64,
     stack_top: u64,
     stack_lowest: u64,
+    /// Activity counters. Excluded from [`Self::state_eq`]: they describe
+    /// how the space has been driven, not what it holds.
+    stats: MemStats,
 }
 
 impl SimMemory {
@@ -161,7 +194,14 @@ impl SimMemory {
             heap_max: heap_base + HEAP_SPAN,
             stack_top,
             stack_lowest,
+            stats: MemStats::default(),
         }
+    }
+
+    /// Cumulative activity counters for this address space (clones inherit
+    /// their parent's totals; see [`MemStats::delta_since`]).
+    pub fn stats(&self) -> MemStats {
+        self.stats
     }
 
     /// The configuration this space was built with.
@@ -335,6 +375,7 @@ impl SimMemory {
     /// # Errors
     /// [`AccessError::Misaligned`] or [`AccessError::Segfault`].
     pub fn check_access(&mut self, addr: u64, size: u64, sp: u64) -> Result<(), AccessError> {
+        self.stats.fault_checks += 1;
         if let AlignmentPolicy::FourByte = self.config.alignment {
             if size >= 4 && !addr.is_multiple_of(4) {
                 return Err(AccessError::Misaligned { addr });
@@ -433,10 +474,19 @@ impl SimMemory {
 
     fn poke_byte(&mut self, addr: u64, v: u8) {
         let page = addr & !(PAGE_SIZE - 1);
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize]));
+        let p = match self.pages.entry(page) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let p = e.into_mut();
+                if Arc::strong_count(p) > 1 {
+                    self.stats.cow_page_copies += 1;
+                }
+                p
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.stats.pages_materialized += 1;
+                e.insert(Arc::new([0u8; PAGE_SIZE as usize]))
+            }
+        };
         Arc::make_mut(p)[(addr - page) as usize] = v;
     }
 
@@ -700,6 +750,34 @@ mod tests {
         // Allocation bookkeeping matters even when bytes agree.
         a.free(pa).expect("free");
         assert!(!a.state_eq(&b), "allocation tables differ");
+    }
+
+    #[test]
+    fn stats_count_checks_cow_and_materialization() {
+        let mut m = mem();
+        let p = m.malloc(64).expect("alloc");
+        let sp = m.stack_top();
+        assert_eq!(m.stats(), MemStats::default());
+        m.write(p, 4, 7, sp).expect("write");
+        let s1 = m.stats();
+        assert_eq!(s1.fault_checks, 1);
+        assert_eq!(s1.pages_materialized, 1);
+        assert_eq!(s1.cow_page_copies, 0);
+        // Rewriting an exclusively owned page is not a CoW copy.
+        m.write(p, 4, 8, sp).expect("write");
+        assert_eq!(m.stats().cow_page_copies, 0);
+        // Writing through a shared page is.
+        let snap = m.clone();
+        assert_eq!(snap.stats(), m.stats(), "clones inherit totals");
+        m.write(p, 4, 9, sp).expect("write");
+        assert_eq!(m.stats().cow_page_copies, 1);
+        // Per-run delta against the checkpoint baseline.
+        let d = m.stats().delta_since(snap.stats());
+        assert_eq!(d.fault_checks, 1);
+        assert_eq!(d.cow_page_copies, 1);
+        assert_eq!(d.pages_materialized, 0);
+        // Stats never affect semantic equality.
+        assert!(m.state_eq(&m.clone()));
     }
 
     #[test]

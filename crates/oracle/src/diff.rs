@@ -200,6 +200,13 @@ pub fn differential_check(
         DisagreementKind::PhantomCrash => 2,
     });
     disagreements.truncate(max_repros);
+    {
+        use epvf_telemetry::{add, Ctr};
+        add(Ctr::OracleTruePositives, confusion.tp);
+        add(Ctr::OracleFalsePositives, confusion.fp);
+        add(Ctr::OracleFalseNegatives, confusion.fn_);
+        add(Ctr::OracleTrueNegatives, confusion.tn);
+    }
     DiffReport {
         confusion,
         masked_sdc,
@@ -331,6 +338,10 @@ pub fn hard_invariant_scan(
             });
         }
     }
+    epvf_telemetry::add(
+        epvf_telemetry::Ctr::OracleHardViolations,
+        violations.len() as u64,
+    );
     violations
 }
 

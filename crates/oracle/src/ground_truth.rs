@@ -71,6 +71,7 @@ pub fn outcome_label(o: InjOutcome) -> String {
 /// stride-subsample that still spans the whole trace — the escape hatch for
 /// workloads whose universe is too large to execute exhaustively.
 pub fn sweep(campaign: &Campaign<'_>, limit: usize) -> GroundTruth {
+    let _span = epvf_telemetry::span(epvf_telemetry::Tmr::OracleSweep);
     let universe = campaign.sites().total_bits();
     let specs: Vec<InjectionSpec> = if limit == 0 || limit as u64 >= universe {
         campaign.sites().specs().collect()
@@ -78,6 +79,7 @@ pub fn sweep(campaign: &Campaign<'_>, limit: usize) -> GroundTruth {
         let stride = universe.div_ceil(limit as u64).max(1) as usize;
         campaign.sites().specs().step_by(stride).collect()
     };
+    epvf_telemetry::add(epvf_telemetry::Ctr::OracleSweepFlips, specs.len() as u64);
     let result = campaign.run_specs(&specs);
     GroundTruth {
         runs: result.runs,

@@ -1,0 +1,131 @@
+//! A single-line campaign progress reporter. Writes `\r`-rewritten status
+//! to **stderr only** (stdout stays byte-stable for the golden snapshot
+//! tests), at most ~10 times a second, and only when stderr is a terminal
+//! — `EPVF_PROGRESS=1` forces it on for non-TTY runs, `EPVF_PROGRESS=0`
+//! forces it off.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum nanoseconds between repaints.
+const REPAINT_NS: u64 = 100_000_000;
+
+/// A rate-limited single-line progress display; shareable across worker
+/// threads (`tick` takes `&self`).
+pub struct Progress {
+    label: String,
+    total: u64,
+    start: Instant,
+    /// Nanoseconds since `start` of the last repaint (u64::MAX = never
+    /// painted); doubles as the repaint mutex via compare-exchange.
+    last_paint_ns: AtomicU64,
+    enabled: bool,
+}
+
+impl Progress {
+    /// Create a reporter for `total` units of work under `label`.
+    pub fn new(label: &str, total: u64) -> Self {
+        let enabled = match std::env::var("EPVF_PROGRESS") {
+            Ok(v) if v == "0" => false,
+            Ok(v) if !v.is_empty() => true,
+            _ => std::io::stderr().is_terminal(),
+        };
+        Progress {
+            label: label.to_string(),
+            total,
+            start: Instant::now(),
+            last_paint_ns: AtomicU64::new(u64::MAX),
+            enabled,
+        }
+    }
+
+    /// Whether this reporter will paint anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Report `done` units complete; repaints at most every ~100 ms.
+    pub fn tick(&self, done: u64) {
+        if !self.enabled {
+            return;
+        }
+        let now_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let last = self.last_paint_ns.load(Ordering::Relaxed);
+        if last != u64::MAX && now_ns.saturating_sub(last) < REPAINT_NS {
+            return;
+        }
+        // One thread wins the repaint; losers skip rather than queue.
+        if self
+            .last_paint_ns
+            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.paint(done, now_ns);
+    }
+
+    fn paint(&self, done: u64, now_ns: u64) {
+        let secs = now_ns as f64 / 1e9;
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let mut line = if self.total > 0 {
+            let pct = 100.0 * done as f64 / self.total as f64;
+            format!(
+                "\r{}: {}/{} ({:.1}%) {:.0}/s {:.1}s",
+                self.label, done, self.total, pct, rate, secs
+            )
+        } else {
+            format!("\r{}: {} {:.0}/s {:.1}s", self.label, done, rate, secs)
+        };
+        // Pad so a shorter repaint fully overwrites the previous one.
+        while line.len() < 60 {
+            line.push(' ');
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
+        let _ = err.flush();
+    }
+
+    /// Erase the progress line (call once the work completes).
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(b"\r");
+        let _ = err.write_all(" ".repeat(72).as_bytes());
+        let _ = err.write_all(b"\r");
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_when_not_a_tty() {
+        // Test harness stderr is a pipe, and EPVF_PROGRESS is unset in CI;
+        // ticking a disabled reporter must be a no-op (and cheap).
+        if std::env::var("EPVF_PROGRESS").is_err() {
+            let p = Progress::new("campaign", 100);
+            assert!(!p.enabled());
+            for i in 0..1000 {
+                p.tick(i);
+            }
+            p.finish();
+        }
+    }
+
+    #[test]
+    fn env_override_forces_off() {
+        // EPVF_PROGRESS=0 must disable even on a TTY; we can only assert
+        // the env-reading branch here (set/get race is fine: tests in this
+        // binary that read the var tolerate either state).
+        std::env::set_var("EPVF_PROGRESS", "0");
+        let p = Progress::new("x", 10);
+        assert!(!p.enabled());
+        std::env::remove_var("EPVF_PROGRESS");
+    }
+}
