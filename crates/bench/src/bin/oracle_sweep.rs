@@ -29,7 +29,7 @@ fn main() {
             let violations = hard_invariant_scan(&campaign, &res, &gt);
             assert!(violations.is_empty(), "{}: {violations:?}", w.name);
             let c = report.confusion;
-            let [crash, sdc, benign, _, _] = gt.tally();
+            let [crash, sdc, benign, _, _, _, _] = gt.tally();
             vec![
                 w.name.to_string(),
                 gt.universe.to_string(),

@@ -55,7 +55,10 @@ fn main() {
                 .run_injected(Workload::ENTRY, &w.args, *s)
                 .expect("runs");
             match r.outcome {
-                Outcome::Crashed { .. } | Outcome::Hang | Outcome::Detected => crash += 1,
+                Outcome::Crashed { .. }
+                | Outcome::Hang
+                | Outcome::Detected
+                | Outcome::TimedOut(_) => crash += 1,
                 Outcome::Completed if !r.outputs_match_printed(&golden) => sdc += 1,
                 Outcome::Completed => {
                     benign += 1;

@@ -54,7 +54,7 @@ mod trace;
 
 pub use machine::{
     ExecConfig, ExecError, FaultTarget, InjectionSpec, Interpreter, MultiBitSpec, ReplayOutcome,
-    Snapshot,
+    Snapshot, DEADLINE_CHECK_STRIDE,
 };
-pub use outcome::{CrashKind, Outcome, RunResult};
+pub use outcome::{CrashKind, Outcome, RunResult, TimeoutKind};
 pub use trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};

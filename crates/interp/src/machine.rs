@@ -7,7 +7,7 @@
 //! faults into the source registers for the executed instructions ... all
 //! faults are activated").
 
-use crate::outcome::{CrashKind, Outcome, RunResult};
+use crate::outcome::{CrashKind, Outcome, RunResult, TimeoutKind};
 use crate::trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};
 use epvf_ir::{
     BinOp, CastOp, FBinOp, FUnOp, FcmpPred, FuncId, IcmpPred, Inst, Module, Op, Type, Value,
@@ -32,7 +32,28 @@ pub struct ExecConfig {
     pub max_dyn_insts: u64,
     /// Record a full dynamic trace (golden runs only — it is large).
     pub record_trace: bool,
+    /// Supervision fuel: a hard dynamic-instruction cap above which the
+    /// run is killed as [`Outcome::TimedOut`]`(`[`TimeoutKind::Fuel`]`)`.
+    /// Unlike [`ExecConfig::max_dyn_insts`] (hang *classification*), fuel
+    /// exhaustion means the supervisor gave up on the run — the limit
+    /// checked first wins. `None` disables the watchdog.
+    pub fuel: Option<u64>,
+    /// Supervision wall-clock deadline, measured from the start of the
+    /// run and checked every [`DEADLINE_CHECK_STRIDE`] dynamic
+    /// instructions; exceeding it kills the run as
+    /// [`Outcome::TimedOut`]`(`[`TimeoutKind::Deadline`]`)`. `None` (the
+    /// default) keeps execution fully deterministic.
+    pub deadline: Option<std::time::Duration>,
+    /// Test hook for the campaign supervisor's panic isolation: panic
+    /// when `dyn_count` reaches this value, simulating an interpreter
+    /// defect at a reproducible dynamic position. Never set outside
+    /// supervision tests and the CI panic-injection smoke.
+    pub poison_at: Option<u64>,
 }
+
+/// How many dynamic instructions execute between wall-clock deadline
+/// checks (syscall-free fast path in between).
+pub const DEADLINE_CHECK_STRIDE: u64 = 4096;
 
 impl Default for ExecConfig {
     fn default() -> Self {
@@ -40,6 +61,9 @@ impl Default for ExecConfig {
             mem: MemConfig::default(),
             max_dyn_insts: 50_000_000,
             record_trace: false,
+            fuel: None,
+            deadline: None,
+            poison_at: None,
         }
     }
 }
@@ -429,6 +453,9 @@ struct Exec<'m, 'r> {
     dyn_base: u64,
     mem_stats_base: MemStats,
     flushed: bool,
+    /// When the run started, set only under a wall-clock deadline so
+    /// deadline-free runs never touch the clock.
+    deadline_start: Option<std::time::Instant>,
 }
 
 /// How `exec_loop` ended.
@@ -472,6 +499,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             dyn_base: 0,
             mem_stats_base: MemStats::default(),
             flushed: false,
+            deadline_start: config.deadline.map(|_| std::time::Instant::now()),
         }
     }
 
@@ -506,6 +534,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             dyn_base: snap.dyn_count,
             mem_stats_base: snap.mem.stats(),
             flushed: false,
+            deadline_start: config.deadline.map(|_| std::time::Instant::now()),
         }
     }
 
@@ -678,7 +707,44 @@ impl<'m, 'r> Exec<'m, 'r> {
         self.state_matches(snap).then_some(self.dyn_count)
     }
 
+    /// Supervision checks at the loop top: the poison test hook, the fuel
+    /// cap, and (every [`DEADLINE_CHECK_STRIDE`] instructions) the
+    /// wall-clock deadline. Returns the terminal outcome of a killed run.
+    fn watchdog(&mut self) -> Option<Outcome> {
+        if self.config.poison_at.is_some_and(|at| self.dyn_count >= at) {
+            panic!(
+                "poisoned at dyn #{} (ExecConfig::poison_at)",
+                self.dyn_count
+            );
+        }
+        if self.config.fuel.is_some_and(|f| self.dyn_count >= f) {
+            epvf_telemetry::add(Ctr::WatchdogFuelKills, 1);
+            return Some(Outcome::TimedOut(TimeoutKind::Fuel));
+        }
+        if let (Some(limit), Some(start)) = (self.config.deadline, self.deadline_start) {
+            // Skip the zeroth check: a run shorter than one stride never
+            // pays for a clock read.
+            if self.dyn_count != 0
+                && self.dyn_count % DEADLINE_CHECK_STRIDE == 0
+                && start.elapsed() > limit
+            {
+                epvf_telemetry::add(Ctr::WatchdogDeadlineKills, 1);
+                return Some(Outcome::TimedOut(TimeoutKind::Deadline));
+            }
+        }
+        None
+    }
+
+    /// Whether any watchdog is armed (skips the per-instruction checks on
+    /// the common unarmed path).
+    fn watchdog_armed(&self) -> bool {
+        self.config.fuel.is_some()
+            || self.config.deadline.is_some()
+            || self.config.poison_at.is_some()
+    }
+
     fn exec_loop(&mut self) -> End {
+        let armed = self.watchdog_armed();
         loop {
             if self.ckpt.is_some() {
                 self.maybe_checkpoint();
@@ -690,6 +756,11 @@ impl<'m, 'r> Exec<'m, 'r> {
             }
             if self.dyn_count >= self.config.max_dyn_insts {
                 return End::Outcome(Outcome::Hang);
+            }
+            if armed {
+                if let Some(o) = self.watchdog() {
+                    return End::Outcome(o);
+                }
             }
             let module = self.module;
             let frame = self.frames.last().expect("frame stack never empty here");
@@ -763,6 +834,11 @@ impl<'m, 'r> Exec<'m, 'r> {
                 .expect("verifier guarantees phi covers all predecessors");
             if self.dyn_count >= self.config.max_dyn_insts {
                 return Some(Outcome::Hang);
+            }
+            if self.watchdog_armed() {
+                if let Some(o) = self.watchdog() {
+                    return Some(o);
+                }
             }
             let dyn_idx = self.dyn_count;
             self.dyn_count += 1;

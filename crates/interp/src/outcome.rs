@@ -61,6 +61,37 @@ impl fmt::Display for CrashKind {
     }
 }
 
+/// Which watchdog killed a run classified as [`Outcome::TimedOut`].
+///
+/// Distinct from hang detection: [`Outcome::Hang`] is a *semantic*
+/// classification (the run exceeded the budget derived from the golden
+/// run's length, so the fault plausibly created an endless loop), while a
+/// timeout is a *supervision* kill — the run blew through a hard resource
+/// cap the campaign placed on it, and its outcome class is unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeoutKind {
+    /// The per-run fuel (dynamic-instruction) budget ran out.
+    Fuel,
+    /// The per-run wall-clock deadline passed.
+    Deadline,
+}
+
+impl TimeoutKind {
+    /// Short label used in reports (`fuel` / `deadline`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeoutKind::Fuel => "fuel",
+            TimeoutKind::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for TimeoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Outcome {
@@ -78,6 +109,11 @@ pub enum Outcome {
     Hang,
     /// A duplication check (§V) fired and stopped the run.
     Detected,
+    /// Killed by a supervision watchdog ([`ExecConfig`]'s fuel or
+    /// deadline limits) before reaching any semantic outcome.
+    ///
+    /// [`ExecConfig`]: super::ExecConfig
+    TimedOut(TimeoutKind),
 }
 
 impl Outcome {
@@ -102,6 +138,7 @@ impl fmt::Display for Outcome {
             Outcome::Crashed { kind, at_dyn } => write!(f, "crash({kind}) at dyn #{at_dyn}"),
             Outcome::Hang => write!(f, "hang"),
             Outcome::Detected => write!(f, "detected"),
+            Outcome::TimedOut(kind) => write!(f, "timed out ({kind})"),
         }
     }
 }
@@ -201,6 +238,14 @@ mod tests {
         assert_eq!(c.crash_kind(), Some(CrashKind::Segfault));
         assert!(!Outcome::Completed.is_crash());
         assert_eq!(Outcome::Hang.crash_kind(), None);
+        let t = Outcome::TimedOut(TimeoutKind::Fuel);
+        assert!(!t.is_crash());
+        assert_eq!(t.crash_kind(), None);
+        assert_eq!(t.to_string(), "timed out (fuel)");
+        assert_eq!(
+            Outcome::TimedOut(TimeoutKind::Deadline).to_string(),
+            "timed out (deadline)"
+        );
     }
 
     #[test]

@@ -313,6 +313,10 @@ fn parse_signature(line: &str, lineno: usize) -> Result<Sig, ParseError> {
     let rest = rest.trim();
     let open = rest.find('(').ok_or_else(|| err("expected `(`"))?;
     let close = rest.rfind(')').ok_or_else(|| err("expected `)`"))?;
+    if close < open {
+        // `)` before `(` — slicing below would panic on the inverted range.
+        return Err(err("mismatched parentheses in signature"));
+    }
     let name = rest[..open]
         .strip_prefix('@')
         .ok_or_else(|| err("expected `@name`"))?
@@ -466,6 +470,10 @@ fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
         let hex = p.next()?.trim_matches('"');
         if hex.len() % 2 != 0 {
             return Err(p.err("odd-length init hex"));
+        }
+        if !hex.is_ascii() {
+            // Byte-offset slicing below would panic mid-codepoint.
+            return Err(p.err("bad init hex digit"));
         }
         for i in (0..hex.len()).step_by(2) {
             let b =
@@ -670,6 +678,9 @@ fn parse_inst(
                 let rest = p.toks[p.pos..].join(" ");
                 let open = rest.find('(').ok_or_else(|| p.err("expected `(`"))?;
                 let close = rest.rfind(')').ok_or_else(|| p.err("expected `)`"))?;
+                if close < open {
+                    return Err(p.err("mismatched parentheses in call"));
+                }
                 let callee = rest[..open]
                     .trim()
                     .strip_prefix("@f")

@@ -9,7 +9,7 @@ use crate::site::SiteTable;
 use crate::stats::ci95;
 use epvf_interp::{
     CrashKind, ExecConfig, ExecError, InjectionSpec, Interpreter, Outcome, ReplayOutcome,
-    RunResult, Snapshot,
+    RunResult, Snapshot, TimeoutKind,
 };
 use epvf_ir::Module;
 use epvf_telemetry::{Ctr, Progress, Tmr};
@@ -32,6 +32,14 @@ pub enum InjOutcome {
     Hang,
     /// A §V duplication detector fired.
     Detected,
+    /// Killed by a supervision watchdog (fuel or wall-clock deadline)
+    /// before reaching any semantic outcome.
+    TimedOut(TimeoutKind),
+    /// The run panicked (in every attempt its retry budget allowed) and
+    /// was isolated by the supervisor instead of killing the campaign.
+    /// The panic payload is recorded in the matching
+    /// [`QuarantineRecord`](crate::QuarantineRecord).
+    Quarantined,
 }
 
 impl InjOutcome {
@@ -40,16 +48,24 @@ impl InjOutcome {
         matches!(self, InjOutcome::Crash(_))
     }
 
-    /// The outcome-class counter this classification lands in. The five
+    /// Whether the run was cut short by the supervisor (watchdog kill or
+    /// panic quarantine) rather than classified semantically.
+    pub fn is_supervised_kill(self) -> bool {
+        matches!(self, InjOutcome::TimedOut(_) | InjOutcome::Quarantined)
+    }
+
+    /// The outcome-class counter this classification lands in. The seven
     /// classes partition `llfi.campaign.runs_total` — the conservation law
     /// `epvf metrics-check` enforces.
-    fn counter(self) -> Ctr {
+    pub(crate) fn counter(self) -> Ctr {
         match self {
             InjOutcome::Benign => Ctr::CampaignRunsBenign,
             InjOutcome::Sdc => Ctr::CampaignRunsSdc,
             InjOutcome::Crash(_) => Ctr::CampaignRunsCrash,
             InjOutcome::Hang => Ctr::CampaignRunsHang,
             InjOutcome::Detected => Ctr::CampaignRunsDetected,
+            InjOutcome::TimedOut(_) => Ctr::CampaignRunsTimedOut,
+            InjOutcome::Quarantined => Ctr::CampaignRunsQuarantined,
         }
     }
 }
@@ -85,6 +101,26 @@ pub struct CampaignConfig {
     /// checkpoints; [`Self::CKPT_OFF`] disables checkpointing and restores
     /// full from-scratch replays.
     pub ckpt_interval: u64,
+    /// How many times a panicking run is re-executed before it is
+    /// quarantined. Retries distinguish transient poison (an environmental
+    /// hiccup that succeeds on re-run) from deterministic poison (a run
+    /// that panics every time and must be isolated).
+    pub retries: u32,
+    /// Fuel budget (dynamic instructions) for *injected* runs; exhausting
+    /// it yields [`InjOutcome::TimedOut`]`(`[`TimeoutKind::Fuel`]`)`.
+    /// Unlike the hang threshold this is a supervision kill, not a
+    /// semantic classification. The golden run is never fuel-limited.
+    pub run_fuel: Option<u64>,
+    /// Wall-clock deadline per injected run; exceeding it yields
+    /// [`InjOutcome::TimedOut`]`(`[`TimeoutKind::Deadline`]`)`. Inherently
+    /// non-deterministic — off by default, and outcomes produced under a
+    /// deadline are excluded from the byte-identical-aggregates contract.
+    pub run_deadline: Option<std::time::Duration>,
+    /// Test hook: make every injected run panic once its dynamic
+    /// instruction count reaches this value, exercising the panic
+    /// isolation path end to end. Never set outside tests and the CI
+    /// panic-injection smoke.
+    pub poison_at: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -103,8 +139,29 @@ impl Default for CampaignConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             compare: OutputCompare::default(),
             ckpt_interval: CampaignConfig::CKPT_AUTO,
+            retries: 1,
+            run_fuel: None,
+            run_deadline: None,
+            poison_at: None,
         }
     }
+}
+
+/// One quarantined run: the spec that panicked on every attempt, the
+/// panic payload, and how many retries were burned proving the poison
+/// deterministic. Collected in [`CampaignResult::quarantines`] and
+/// renderable as a replayable `.repro` file via
+/// [`Campaign::render_quarantine_repro`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Index of the run in the campaign's spec list (draw order).
+    pub index: usize,
+    /// The injection spec whose run panicked.
+    pub spec: InjectionSpec,
+    /// Panic payload (or internal-error message) from the final attempt.
+    pub payload: String,
+    /// Attempts beyond the first (i.e. retries actually consumed).
+    pub retries: u32,
 }
 
 /// Aggregated campaign results.
@@ -112,6 +169,9 @@ impl Default for CampaignConfig {
 pub struct CampaignResult {
     /// Per-run `(spec, outcome)` pairs, in draw order.
     pub runs: Vec<(InjectionSpec, InjOutcome)>,
+    /// Quarantined runs (panic isolation), in draw order. Empty for
+    /// healthy campaigns.
+    pub quarantines: Vec<QuarantineRecord>,
 }
 
 impl CampaignResult {
@@ -150,17 +210,35 @@ impl CampaignResult {
         self.count(|o| o == InjOutcome::Detected) as f64 / self.n().max(1) as f64
     }
 
+    /// Fraction of watchdog-killed runs (fuel or deadline).
+    pub fn timed_out_rate(&self) -> f64 {
+        self.count(|o| matches!(o, InjOutcome::TimedOut(_))) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of quarantined (panicking) runs.
+    pub fn quarantined_rate(&self) -> f64 {
+        self.count(|o| o == InjOutcome::Quarantined) as f64 / self.n().max(1) as f64
+    }
+
+    /// Fraction of runs the supervisor cut short instead of classifying —
+    /// the campaign's degradation signal. `epvf inject` exits with the
+    /// "degraded" code when this exceeds its `--max-unsound` threshold.
+    pub fn unsound_rate(&self) -> f64 {
+        self.count(InjOutcome::is_supervised_kill) as f64 / self.n().max(1) as f64
+    }
+
     /// Crash-class counts in the paper's Table II column order
     /// `[SF, A, MMA, AE]`.
     pub fn crash_kind_counts(&self) -> [usize; 4] {
         let mut out = [0usize; 4];
         for (_, o) in &self.runs {
             if let InjOutcome::Crash(k) = o {
-                let i = CrashKind::all()
-                    .iter()
-                    .position(|x| x == k)
-                    .expect("all kinds covered");
-                out[i] += 1;
+                out[match k {
+                    CrashKind::Segfault => 0,
+                    CrashKind::Abort => 1,
+                    CrashKind::Misaligned => 2,
+                    CrashKind::Arithmetic => 3,
+                }] += 1;
             }
         }
         out
@@ -197,6 +275,11 @@ pub enum CampaignError {
     GoldenFailed(Outcome),
     /// The golden trace contains no injectable register reads.
     NoInjectableSites,
+    /// An internal invariant failed while preparing the campaign (e.g. the
+    /// checkpoint pass diverged from the traced golden run). Reported as a
+    /// structured error rather than a panic so callers can surface it with
+    /// a proper exit code.
+    Internal(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -209,6 +292,7 @@ impl fmt::Display for CampaignError {
             CampaignError::NoInjectableSites => {
                 write!(f, "the trace contains no register reads to inject into")
             }
+            CampaignError::Internal(msg) => write!(f, "campaign internal error: {msg}"),
         }
     }
 }
@@ -285,7 +369,12 @@ impl<'m> Campaign<'m> {
         if golden.outcome != Outcome::Completed {
             return Err(CampaignError::GoldenFailed(golden.outcome));
         }
-        let sites = SiteTable::from_trace(module, golden.trace.as_ref().expect("traced"));
+        let Some(trace) = golden.trace.as_ref() else {
+            return Err(CampaignError::Internal(
+                "golden run completed but produced no trace".to_string(),
+            ));
+        };
+        let sites = SiteTable::from_trace(module, trace);
         if sites.is_empty() {
             return Err(CampaignError::NoInjectableSites);
         }
@@ -305,9 +394,16 @@ impl<'m> Campaign<'m> {
             exec.record_trace = false;
             let (rerun, ckpts) = Interpreter::new(module, exec)
                 .run_with_checkpoints(entry, args, interval)
-                .expect("entry validated by the golden run");
-            debug_assert_eq!(rerun.dyn_insts, golden.dyn_insts);
-            debug_assert_eq!(rerun.outputs, golden.outputs);
+                .map_err(|e| {
+                    CampaignError::Internal(format!(
+                        "checkpoint pass failed after a successful golden run: {e}"
+                    ))
+                })?;
+            if rerun.dyn_insts != golden.dyn_insts || rerun.outputs != golden.outputs {
+                return Err(CampaignError::Internal(
+                    "checkpoint pass diverged from the traced golden run".to_string(),
+                ));
+            }
             ckpts
         };
         Ok(Campaign {
@@ -331,6 +427,21 @@ impl<'m> Campaign<'m> {
         self.module
     }
 
+    /// Entry function the campaign injects into.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// Entry-function arguments.
+    pub fn args(&self) -> &[u64] {
+        &self.args
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
     /// The injectable-site table.
     pub fn sites(&self) -> &SiteTable {
         &self.sites
@@ -351,6 +462,12 @@ impl<'m> Campaign<'m> {
                 .dyn_insts
                 .saturating_mul(self.config.hang_multiplier)
                 .saturating_add(10_000),
+            // Supervision watchdogs apply to injected runs only; the
+            // golden run executes un-fuel-limited (it must complete for
+            // the campaign to exist at all).
+            fuel: self.config.run_fuel,
+            deadline: self.config.run_deadline,
+            poison_at: self.config.poison_at,
             ..self.config.exec
         }
     }
@@ -364,31 +481,41 @@ impl<'m> Campaign<'m> {
     /// golden run, so the outputs must match. Both paths classify every
     /// spec identically; checkpointing only changes how much is executed.
     pub fn run_spec(&self, spec: InjectionSpec) -> InjOutcome {
+        let outcome = self
+            .try_run_spec(spec)
+            .unwrap_or_else(|e| panic!("injected run failed to start: {e}"));
+        epvf_telemetry::add(Ctr::CampaignRunsTotal, 1);
+        epvf_telemetry::add(outcome.counter(), 1);
+        outcome
+    }
+
+    /// Uncounted, fallible core of [`Self::run_spec`]: executes and
+    /// classifies one spec without touching the campaign outcome counters
+    /// (the caller records exactly one `runs_total` + class pair), and
+    /// reports interpreter setup failures — impossible after a successful
+    /// golden run, short of an internal bug — as an error instead of
+    /// panicking.
+    pub(crate) fn try_run_spec(&self, spec: InjectionSpec) -> Result<InjOutcome, ExecError> {
         let interp = Interpreter::new(self.module, self.injected_exec());
         let idx = self
             .ckpts
             .partition_point(|s| s.dyn_count() <= spec.dyn_idx);
-        let outcome = if idx == 0 {
+        if idx == 0 {
             // Checkpointing off (or no usable checkpoint): from scratch.
             epvf_telemetry::add(Ctr::CampaignScratchRuns, 1);
-            let res = interp
-                .run_injected(&self.entry, &self.args, spec)
-                .expect("entry validated at construction");
-            self.classify(&res)
+            let res = interp.run_injected(&self.entry, &self.args, spec)?;
+            Ok(self.classify(&res))
         } else {
             epvf_telemetry::add(Ctr::CampaignResumedRuns, 1);
             let base = &self.ckpts[idx - 1];
             match interp.replay_injected_from(base, spec, &self.ckpts[idx..]) {
-                ReplayOutcome::Finished(res) => self.classify(&res),
+                ReplayOutcome::Finished(res) => Ok(self.classify(&res)),
                 ReplayOutcome::Rejoined { .. } => {
                     epvf_telemetry::add(Ctr::CampaignEarlyBenign, 1);
-                    InjOutcome::Benign
+                    Ok(InjOutcome::Benign)
                 }
             }
-        };
-        epvf_telemetry::add(Ctr::CampaignRunsTotal, 1);
-        epvf_telemetry::add(outcome.counter(), 1);
-        outcome
+        }
     }
 
     /// Classify a finished run against the golden output.
@@ -397,6 +524,7 @@ impl<'m> Campaign<'m> {
             Outcome::Crashed { kind, .. } => InjOutcome::Crash(kind),
             Outcome::Hang => InjOutcome::Hang,
             Outcome::Detected => InjOutcome::Detected,
+            Outcome::TimedOut(kind) => InjOutcome::TimedOut(kind),
             Outcome::Completed => {
                 let matches = match self.config.compare {
                     OutputCompare::Printed => res.outputs_match_printed(&self.golden),
@@ -411,11 +539,18 @@ impl<'m> Campaign<'m> {
         }
     }
 
+    /// Draw the `n` specs that [`Self::run`] with the same `seed` would
+    /// execute, without running them. `epvf inject --wal/--resume` uses
+    /// this to fingerprint the campaign and diff a recovered WAL against
+    /// the full spec list.
+    pub fn draw_specs(&self, n: usize, seed: u64) -> Vec<InjectionSpec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sites.sample(&mut rng)).collect()
+    }
+
     /// Run `n` injections with specs drawn from `seed`.
     pub fn run(&self, n: usize, seed: u64) -> CampaignResult {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let specs: Vec<InjectionSpec> = (0..n).map(|_| self.sites.sample(&mut rng)).collect();
-        self.run_specs(&specs)
+        self.run_specs(&self.draw_specs(n, seed))
     }
 
     /// Run an explicit list of injection specs (used by the precision study
@@ -429,15 +564,44 @@ impl<'m> Campaign<'m> {
     /// scattered back into the input order, so a [`CampaignResult`] is
     /// byte-identical regardless of thread count.
     pub fn run_specs(&self, specs: &[InjectionSpec]) -> CampaignResult {
+        self.run_specs_session(specs, &crate::RunSession::default())
+    }
+
+    /// [`Self::run_specs`] with persistence/resume state: outcomes already
+    /// recovered from a WAL are prefilled instead of re-executed, and
+    /// fresh completions are appended to the session's WAL sink (if any).
+    /// Every run executes under panic isolation — a panicking run is
+    /// retried per `config.retries` and then quarantined, never allowed to
+    /// tear down the campaign.
+    pub fn run_specs_session(
+        &self,
+        specs: &[InjectionSpec],
+        session: &crate::RunSession<'_>,
+    ) -> CampaignResult {
         let _span = epvf_telemetry::span(Tmr::CampaignRun);
-        let progress = Progress::new(&format!("inject {}", self.entry), specs.len() as u64);
         let threads = self.config.threads.max(1);
-        let mut order: Vec<usize> = (0..specs.len()).collect();
-        order.sort_by_key(|&i| (specs[i].dyn_idx, i));
         let mut outcomes: Vec<Option<InjOutcome>> = vec![None; specs.len()];
-        if threads == 1 || specs.len() < 32 {
+        let mut quarantines: Vec<QuarantineRecord> = Vec::new();
+        for (&i, &o) in &session.recovered {
+            if let Some(slot) = outcomes.get_mut(i) {
+                *slot = Some(o);
+            }
+        }
+        // Dispatch only the unrecovered specs, in ascending injection
+        // order (see the method docs on why).
+        let mut order: Vec<usize> = (0..specs.len())
+            .filter(|&i| outcomes[i].is_none())
+            .collect();
+        order.sort_by_key(|&i| (specs[i].dyn_idx, i));
+        let progress = Progress::new(&format!("inject {}", self.entry), order.len() as u64);
+        if threads == 1 || order.len() < 32 {
             for (done, &i) in order.iter().enumerate() {
-                outcomes[i] = Some(self.run_spec(specs[i]));
+                let (o, q) = self.run_spec_supervised(i, specs[i]);
+                if let Some(sink) = session.wal {
+                    sink.append(i, specs[i], o);
+                }
+                outcomes[i] = Some(o);
+                quarantines.extend(q);
                 progress.tick(done as u64 + 1);
             }
         } else {
@@ -447,40 +611,65 @@ impl<'m> Campaign<'m> {
             let cursor = &cursor;
             let done = &done;
             let progress = &progress;
-            let locals: Vec<Vec<(usize, InjOutcome)>> = crossbeam::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(move |_| {
-                            epvf_telemetry::add(Ctr::CampaignWorkerBatches, 1);
-                            let mut local = Vec::new();
-                            loop {
-                                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&i) = order.get(k) else { break };
-                                local.push((i, self.run_spec(specs[i])));
-                                progress.tick(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
-                            }
-                            epvf_telemetry::add(Ctr::CampaignStealOps, local.len() as u64);
-                            local
+            let locals: Vec<Vec<(usize, InjOutcome, Option<QuarantineRecord>)>> =
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(move |_| {
+                                epvf_telemetry::add(Ctr::CampaignWorkerBatches, 1);
+                                let mut local = Vec::new();
+                                loop {
+                                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&i) = order.get(k) else { break };
+                                    let (o, q) = self.run_spec_supervised(i, specs[i]);
+                                    if let Some(sink) = session.wal {
+                                        sink.append(i, specs[i], o);
+                                    }
+                                    local.push((i, o, q));
+                                    progress.tick(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
+                                }
+                                epvf_telemetry::add(Ctr::CampaignStealOps, local.len() as u64);
+                                local
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("campaign worker panicked"))
-                    .collect()
-            })
-            .expect("campaign scope failed");
-            for (i, o) in locals.into_iter().flatten() {
+                        .collect();
+                    // A worker whose join fails (it panicked outside the
+                    // supervised region) loses its local results; the
+                    // serial sweep below re-runs whatever it missed.
+                    handles.into_iter().filter_map(|h| h.join().ok()).collect()
+                })
+                .unwrap_or_default();
+            for (i, o, q) in locals.into_iter().flatten() {
                 outcomes[i] = Some(o);
+                quarantines.extend(q);
+            }
+            for &i in order.iter() {
+                if outcomes[i].is_none() {
+                    let (o, q) = self.run_spec_supervised(i, specs[i]);
+                    if let Some(sink) = session.wal {
+                        sink.append(i, specs[i], o);
+                    }
+                    outcomes[i] = Some(o);
+                    quarantines.extend(q);
+                }
             }
         }
+        if let Some(sink) = session.wal {
+            sink.flush();
+        }
         progress.finish();
+        quarantines.sort_by_key(|q| q.index);
         let runs = specs
             .iter()
             .zip(outcomes)
-            .map(|(s, o)| (*s, o.expect("all specs processed")))
+            .map(|(s, o)| {
+                (
+                    *s,
+                    o.expect("every spec recovered, dispatched, or re-run above"),
+                )
+            })
             .collect();
-        CampaignResult { runs }
+        CampaignResult { runs, quarantines }
     }
 }
 

@@ -44,12 +44,17 @@ mod accuracy;
 mod campaign;
 mod site;
 mod stats;
+mod supervise;
+mod wal;
 
 pub use accuracy::{
     precision_study, predicted_crash_specs, recall_study, PrecisionReport, RecallReport,
 };
 pub use campaign::{
     Campaign, CampaignConfig, CampaignError, CampaignResult, InjOutcome, OutputCompare,
+    QuarantineRecord,
 };
 pub use site::{injectable_operand, InjectionSite, SiteTable};
 pub use stats::{ci95, geomean, mean};
+pub use supervise::RunSession;
+pub use wal::{wal_fingerprint, RecoveredWal, WalError, WalSink, WAL_MAGIC};

@@ -35,9 +35,11 @@ impl GroundTruth {
         self.runs.iter().filter(|(_, o)| pred(*o)).count() as u64
     }
 
-    /// Crash / SDC / benign / hang / detected counts, in that order.
-    pub fn tally(&self) -> [u64; 5] {
-        let mut t = [0u64; 5];
+    /// Crash / SDC / benign / hang / detected / timed-out / quarantined
+    /// counts, in that order. The last two are supervision outcomes —
+    /// always zero in a healthy un-watchdogged sweep.
+    pub fn tally(&self) -> [u64; 7] {
+        let mut t = [0u64; 7];
         for (_, o) in &self.runs {
             match o {
                 InjOutcome::Crash(_) => t[0] += 1,
@@ -45,6 +47,8 @@ impl GroundTruth {
                 InjOutcome::Benign => t[2] += 1,
                 InjOutcome::Hang => t[3] += 1,
                 InjOutcome::Detected => t[4] += 1,
+                InjOutcome::TimedOut(_) => t[5] += 1,
+                InjOutcome::Quarantined => t[6] += 1,
             }
         }
         t
@@ -53,7 +57,7 @@ impl GroundTruth {
 
 /// Short human-readable label of an injection outcome, used in oracle
 /// reports and repro files (`benign`, `sdc`, `hang`, `detected`,
-/// `crash:SF` …).
+/// `crash:SF`, `timeout:fuel`, `quarantined` …).
 pub fn outcome_label(o: InjOutcome) -> String {
     match o {
         InjOutcome::Benign => "benign".into(),
@@ -61,6 +65,8 @@ pub fn outcome_label(o: InjOutcome) -> String {
         InjOutcome::Hang => "hang".into(),
         InjOutcome::Detected => "detected".into(),
         InjOutcome::Crash(k) => format!("crash:{}", k.label()),
+        InjOutcome::TimedOut(k) => format!("timeout:{}", k.label()),
+        InjOutcome::Quarantined => "quarantined".into(),
     }
 }
 

@@ -1,0 +1,94 @@
+//! Crash-safe file output.
+//!
+//! Every result artifact the pipeline writes — `--metrics-out` documents,
+//! bench `BENCH_<name>.json` files, campaign result dumps — goes through
+//! [`atomic_write`]: the content lands in a temporary sibling file which is
+//! then renamed over the destination. A reader (or a process killed
+//! mid-write) therefore only ever observes the old complete file or the
+//! new complete file, never a torn prefix.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling used for an in-flight write of `path`.
+///
+/// Placed in the same directory so the final rename cannot cross a
+/// filesystem boundary; suffixed with the pid so concurrent writers (e.g.
+/// two campaigns told to write the same metrics path) cannot clobber each
+/// other's half-written temp file.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+/// Write `contents` to `path` atomically: temp file in the destination
+/// directory, fsync, rename. Parent directories are created as needed.
+/// On any error the temp file is removed and the destination is left
+/// untouched (either absent or holding its previous complete content).
+///
+/// # Errors
+/// Propagates filesystem errors from the write, sync, or rename.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Durability before visibility: the rename must not expose a file
+        // whose bytes are still in flight.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("epvf-fsutil-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let p = scratch("replace.txt");
+        atomic_write(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        atomic_write(&p, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second, longer content");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let p = scratch("nested").join("deep/out.json");
+        atomic_write(&p, b"{}").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"{}");
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let p = scratch("clean.txt");
+        atomic_write(&p, b"x").unwrap();
+        let dir = p.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("clean.txt.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
+    }
+}

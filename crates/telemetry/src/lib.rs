@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+mod fsutil;
 mod json;
 pub mod metrics;
 mod progress;
@@ -46,6 +47,7 @@ mod registry;
 mod report;
 mod snapshot;
 
+pub use fsutil::atomic_write;
 pub use metrics::{Combine, CounterDef, Ctr, Tmr, ALL_CTRS, ALL_TMRS, COUNTER_DEFS, TIMER_DEFS};
 pub use progress::Progress;
 pub use registry::{global, Registry, Span};

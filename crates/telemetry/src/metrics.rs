@@ -92,6 +92,10 @@ define_counters! {
         "store instructions executed by traced golden runs"),
     InterpCheckpointsTaken => ("interp.checkpoints_taken", Sum, false,
         "snapshots captured by checkpointing golden passes"),
+    WatchdogFuelKills => ("interp.watchdog.fuel_kills", Sum, true,
+        "runs killed by the supervision fuel budget"),
+    WatchdogDeadlineKills => ("interp.watchdog.deadline_kills", Sum, false,
+        "runs killed by the wall-clock deadline watchdog"),
     // --- memory simulator ---
     MemFaultChecks => ("memsim.fault_checks", Sum, false,
         "access-validity decisions taken (the simulated Fig. 4 kernel logic)"),
@@ -136,6 +140,12 @@ define_counters! {
         "injection runs exceeding the dynamic-instruction budget"),
     CampaignRunsDetected => ("llfi.campaign.runs_detected", Sum, true,
         "injection runs stopped by a duplication detector"),
+    CampaignRunsTimedOut => ("llfi.campaign.runs_timed_out", Sum, true,
+        "injection runs killed by a supervision watchdog (fuel or deadline)"),
+    CampaignRunsQuarantined => ("llfi.campaign.runs_quarantined", Sum, true,
+        "injection runs isolated after panicking past the retry budget"),
+    CampaignPanicRetries => ("llfi.campaign.panic_retries", Sum, true,
+        "panicked runs re-executed under the transient-retry budget"),
     CampaignEarlyBenign => ("llfi.campaign.early_benign", Sum, false,
         "runs classified benign by golden-rendezvous short-circuit"),
     CampaignResumedRuns => ("llfi.campaign.resumed_runs", Sum, false,
@@ -146,6 +156,17 @@ define_counters! {
         "work items claimed off the shared campaign cursor"),
     CampaignWorkerBatches => ("llfi.campaign.worker_batches", Sum, false,
         "worker threads spawned across campaign executions"),
+    // --- campaign write-ahead log ---
+    WalRecordsAppended => ("llfi.wal.records_appended", Sum, false,
+        "outcome records appended to campaign write-ahead logs"),
+    WalFlushes => ("llfi.wal.flushes", Sum, false,
+        "batched WAL flushes reaching the operating system"),
+    WalRecordsRecovered => ("llfi.wal.records_recovered", Sum, false,
+        "valid records read back while resuming from a WAL"),
+    WalRecordsTorn => ("llfi.wal.records_torn", Sum, false,
+        "torn or checksum-failing tail records discarded during recovery"),
+    WalDuplicatesDropped => ("llfi.wal.duplicates_dropped", Sum, false,
+        "duplicate per-spec records ignored during recovery (latest wins)"),
     // --- oracle ---
     OracleSweepFlips => ("oracle.sweep.flips", Sum, true,
         "ground-truth bit flips executed by oracle sweeps"),
@@ -255,6 +276,8 @@ mod tests {
             Ctr::CampaignRunsBenign,
             Ctr::CampaignRunsHang,
             Ctr::CampaignRunsDetected,
+            Ctr::CampaignRunsTimedOut,
+            Ctr::CampaignRunsQuarantined,
         ] {
             assert!(c.def().invariant, "{} must be invariant", c.def().name);
         }

@@ -87,6 +87,22 @@ impl Progress {
         let _ = err.flush();
     }
 
+    /// Print a one-off notice on its own stderr line — supervision events
+    /// (degraded campaign, quarantined runs) that must survive the
+    /// `\r`-rewritten status line. Written even when the progress display
+    /// itself is disabled; the status line, if any, is cleared first so
+    /// the notice doesn't splice into it.
+    pub fn note(&self, msg: &str) {
+        let mut err = std::io::stderr().lock();
+        if self.enabled {
+            let _ = err.write_all(b"\r");
+            let _ = err.write_all(" ".repeat(72).as_bytes());
+            let _ = err.write_all(b"\r");
+        }
+        let _ = writeln!(err, "{}: {msg}", self.label);
+        let _ = err.flush();
+    }
+
     /// Erase the progress line (call once the work completes).
     pub fn finish(&self) {
         if !self.enabled {

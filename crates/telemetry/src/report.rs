@@ -169,13 +169,10 @@ impl MetricsReport {
 
     /// Write the document (plus a trailing newline, for NDJSON
     /// concatenation) to `path`, creating parent directories as needed.
+    /// The write is atomic (temp file + rename): a crash mid-write never
+    /// leaves a torn document for `epvf metrics-check` to choke on.
     pub fn write_file(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.to_json() + "\n")
+        crate::atomic_write(path, (self.to_json() + "\n").as_bytes())
     }
 }
 

@@ -108,12 +108,24 @@ impl MetricsSnapshot {
             + c("llfi.campaign.runs_sdc")
             + c("llfi.campaign.runs_benign")
             + c("llfi.campaign.runs_hang")
-            + c("llfi.campaign.runs_detected");
+            + c("llfi.campaign.runs_detected")
+            + c("llfi.campaign.runs_timed_out")
+            + c("llfi.campaign.runs_quarantined");
         law(
             class_sum == c("llfi.campaign.runs_total"),
             format!(
                 "campaign outcome classes sum to {class_sum}, expected runs_total = {}",
                 c("llfi.campaign.runs_total")
+            ),
+        );
+        law(
+            c("llfi.wal.flushes") <= c("llfi.wal.records_appended"),
+            // Flushes are batched: at most one OS flush per appended
+            // record, usually far fewer.
+            format!(
+                "WAL flushed {} times but only {} records were appended",
+                c("llfi.wal.flushes"),
+                c("llfi.wal.records_appended")
             ),
         );
         law(
