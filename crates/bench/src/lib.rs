@@ -50,6 +50,8 @@ pub struct HarnessOpts {
     pub threads: Option<usize>,
     /// Metrics document path; `None` = `results/BENCH_<harness>.json`.
     pub metrics_out: Option<PathBuf>,
+    /// Adaptive-sampling CI half-width target; `None` = harness default.
+    pub target_ci: Option<f64>,
 }
 
 impl Default for HarnessOpts {
@@ -62,6 +64,7 @@ impl Default for HarnessOpts {
             ckpt_interval: None,
             threads: None,
             metrics_out: None,
+            target_ci: None,
         }
     }
 }
@@ -116,10 +119,20 @@ impl HarnessOpts {
                             .unwrap_or_else(|| die("--metrics-out needs a path")),
                     ));
                 }
+                "--target-ci" => {
+                    let w: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--target-ci needs a number"));
+                    if !(w.is_finite() && w > 0.0) {
+                        die("--target-ci needs a positive number");
+                    }
+                    opts.target_ci = Some(w);
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --runs N  --seed S  --scale tiny|small|standard  --bench NAME  \
-                         --ckpt-interval K  --threads T  --metrics-out FILE"
+                         --ckpt-interval K  --threads T  --metrics-out FILE  --target-ci W"
                     );
                     std::process::exit(0);
                 }

@@ -24,12 +24,12 @@ use epvf_core::{analyze, per_instruction_scores, AceConfig, EpvfConfig};
 use epvf_interp::{ExecConfig, Interpreter};
 use epvf_ir::{parse_module, Module};
 use epvf_llfi::{
-    precision_study, recall_study, wal_fingerprint, Campaign, CampaignConfig, RunSession, WalError,
-    WalSink,
+    precision_study, recall_study, wal_fingerprint, wal_fingerprint_adaptive, Campaign,
+    CampaignConfig, RunSession, SamplerConfig, WalError, WalSink,
 };
 use epvf_oracle::{
-    differential_check, hard_invariant_scan, outcome_label, parse_repro, replay_repro, sweep,
-    write_repros, ReproContext,
+    calibrate, differential_check, hard_invariant_scan, outcome_label, parse_repro, replay_repro,
+    sweep, write_repros, ReproContext,
 };
 use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
 use epvf_telemetry::{MetricsReport, Progress};
@@ -267,12 +267,25 @@ usage: epvf <command> [args]
                                run to DIR
     --poison-at N              test hook: panic every injected run at dyn
                                inst N (exercises panic isolation)
+    --sample                   adaptive stratified sampling: stop when the
+                               95% CI half-width on the SDC and crash
+                               rates is under --target-ci, instead of
+                               running a fixed draw; a positional run
+                               count becomes the hard cap
+    --target-ci W              CI half-width target (implies --sample;
+                               default 0.02)
+    --pilot N                  pilot draws per stratum (default 16)
+    --batch N                  max runs allocated per round (default 256)
   oracle <target>              exhaustive bit-flip oracle vs crash model
     --workload NAME            alternative way to name the target
     --limit N                  subsample the sweep to ~N runs (0 = all)
     --max-repros K             disagreement repros to keep (default 8)
     --repro-dir DIR            write replayable .repro files to DIR
     --replay FILE              re-execute one .repro file instead
+    --calibrate W              also run an adaptive sampled campaign with
+                               CI target W and check its estimates
+                               bracket the exhaustive truth (exit 8 when
+                               they don't)
     --ckpt-interval K / --threads T   as for inject
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
   metrics-check <file>...      validate metrics JSON artifacts (schema +
@@ -417,11 +430,19 @@ fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), CliError> {
 #[derive(Default)]
 struct InjectOpts {
     runs: usize,
+    /// Whether the run count was given explicitly (in `--sample` mode an
+    /// explicit count becomes the hard cap; omitted means "up to the
+    /// whole population").
+    runs_given: bool,
     seed: u64,
     wal: Option<std::path::PathBuf>,
     resume: bool,
     max_unsound: f64,
     quarantine_dir: Option<std::path::PathBuf>,
+    sample: bool,
+    target_ci: f64,
+    pilot: usize,
+    batch: usize,
 }
 
 fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), CliError> {
@@ -430,6 +451,9 @@ fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), Cl
         runs: 1000,
         seed: 42,
         max_unsound: 0.05,
+        target_ci: SamplerConfig::default().target_ci,
+        pilot: SamplerConfig::default().pilot,
+        batch: SamplerConfig::default().batch,
         ..InjectOpts::default()
     };
     let mut positional: Vec<&String> = Vec::new();
@@ -472,6 +496,28 @@ fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), Cl
             }
             "--wal" => opts.wal = Some(value("--wal")?.into()),
             "--resume" => opts.resume = true,
+            "--sample" => opts.sample = true,
+            "--target-ci" => {
+                opts.sample = true;
+                opts.target_ci = value("--target-ci")?
+                    .parse()
+                    .map_err(|_| bad("--target-ci"))?;
+                if !(opts.target_ci.is_finite() && opts.target_ci >= 0.0) {
+                    return Err(bad("--target-ci"));
+                }
+            }
+            "--pilot" => {
+                opts.pilot = value("--pilot")?.parse().map_err(|_| bad("--pilot"))?;
+                if opts.pilot == 0 {
+                    return Err(bad("--pilot"));
+                }
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?.parse().map_err(|_| bad("--batch"))?;
+                if opts.batch == 0 {
+                    return Err(bad("--batch"));
+                }
+            }
             "--max-unsound" => {
                 opts.max_unsound = value("--max-unsound")?
                     .parse()
@@ -487,6 +533,7 @@ fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), Cl
     if opts.resume && opts.wal.is_none() {
         return Err(CliError::usage("--resume requires --wal FILE"));
     }
+    opts.runs_given = !positional.is_empty();
     opts.runs = positional
         .first()
         .map_or(Ok(1000), |s| s.parse().map_err(|_| bad_arg("run count")))?;
@@ -507,6 +554,9 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
     let (config, opts) = parse_inject_opts(rest)?;
     let campaign =
         Campaign::new(&t.module, Workload::ENTRY, &t.args, config).map_err(CliError::campaign)?;
+    if opts.sample {
+        return cmd_inject_sampled(&t, &campaign, &opts);
+    }
     let trace = campaign
         .golden()
         .trace
@@ -543,6 +593,7 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
         let session = RunSession {
             recovered,
             wal: Some(&sink),
+            ..RunSession::default()
         };
         let fi = campaign.run_specs_session(&specs, &session);
         sink.flush();
@@ -630,6 +681,136 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `epvf inject --sample`: adaptive stratified campaign that stops when
+/// the 95% CI half-width on both the SDC and crash rates drops under
+/// `--target-ci`, instead of enumerating (or uniformly subsampling) the
+/// flip universe.
+fn cmd_inject_sampled(t: &Target, campaign: &Campaign, opts: &InjectOpts) -> Result<(), CliError> {
+    let cfg = SamplerConfig {
+        target_ci: opts.target_ci,
+        pilot: opts.pilot,
+        batch: opts.batch,
+        // An explicit positional run count becomes the hard cap; omitted
+        // means "spend what the CI target needs, up to the population".
+        max_runs: if opts.runs_given { opts.runs } else { 0 },
+        seed: opts.seed,
+    };
+
+    let report = if let Some(wal_path) = &opts.wal {
+        let fp = wal_fingerprint_adaptive(
+            &t.module.to_string(),
+            Workload::ENTRY,
+            &t.args,
+            cfg.target_ci,
+            cfg.pilot,
+            cfg.batch,
+            cfg.max_runs,
+            cfg.seed,
+        );
+        let (sink, recovered) = if opts.resume {
+            let (sink, rec) = WalSink::recover(wal_path, fp)?;
+            // Records are keyed by global run index in the deterministic
+            // execution sequence; the sampler replays them in place.
+            let map = rec.outcomes.into_iter().map(|(i, (_, o))| (i, o)).collect();
+            (sink, map)
+        } else {
+            (WalSink::create(wal_path, fp)?, Default::default())
+        };
+        let session = RunSession {
+            recovered,
+            wal: Some(&sink),
+            ..RunSession::default()
+        };
+        let report = campaign.run_adaptive_session(cfg, &session);
+        sink.flush();
+        if let Some(e) = sink.take_error() {
+            return Err(CliError::io(format!(
+                "writing WAL {}: {e}",
+                wal_path.display()
+            )));
+        }
+        report
+    } else {
+        campaign.run_adaptive(cfg)
+    };
+
+    println!("target    : {} (sampled, seed {})", t.label, opts.seed);
+    println!(
+        "sampling  : {} of {} flips in {} round(s), {:.1}x fewer runs",
+        report.executed,
+        report.population,
+        report.rounds,
+        report.savings()
+    );
+    println!(
+        "stopping  : {} (target ci ±{:.4})",
+        if report.converged {
+            "converged"
+        } else if (report.executed as u64) >= report.population {
+            "population exhausted"
+        } else {
+            "run cap reached"
+        },
+        report.target_ci
+    );
+    for (label, est) in [("sdc", &report.sdc), ("crash", &report.crash)] {
+        println!(
+            "{label:9} : {:.4} ±{:.4}  wilson [{:.4}, {:.4}]  exact [{:.4}, {:.4}]",
+            est.rate,
+            est.half_width,
+            est.wilson.0,
+            est.wilson.1,
+            est.clopper_pearson.0,
+            est.clopper_pearson.1
+        );
+    }
+    println!(
+        "{:22} {:>10} {:>8} {:>6} {:>7} {:>7}",
+        "stratum", "population", "drawn", "fill", "sdc", "crash"
+    );
+    for s in &report.strata {
+        println!(
+            "{:22} {:>10} {:>8} {:>5.0}% {:>7} {:>7}",
+            s.class.to_string(),
+            s.population,
+            s.executed,
+            100.0 * s.fill(),
+            s.sdc,
+            s.crash
+        );
+    }
+
+    if let Some(dir) = &opts.quarantine_dir {
+        if !report.quarantines.is_empty() {
+            let prefix = t.label.replace([':', '/'], "-");
+            let paths = campaign
+                .write_quarantine_repros(dir, &prefix, &report.quarantines)
+                .map_err(|e| CliError::io(format!("writing quarantine repros: {e}")))?;
+            println!(
+                "quarantine: {} repro file(s) in {}",
+                paths.len(),
+                dir.display()
+            );
+        }
+    }
+
+    // Same graceful-degradation contract as the exhaustive path. Sampled
+    // reports fold supervised kills into per-stratum `other`, so the gate
+    // is on the quarantine fraction (the replayable, diagnosable part).
+    let quarantined = report.quarantines.len() as f64 / report.executed.max(1) as f64;
+    if quarantined > opts.max_unsound {
+        let msg = format!(
+            "campaign degraded: {:.1}% of sampled runs quarantined \
+             (threshold {:.1}%); estimates above are partial",
+            100.0 * quarantined,
+            100.0 * opts.max_unsound
+        );
+        Progress::new("inject", 0).note(&msg);
+        return Err(CliError::Degraded(msg));
+    }
+    Ok(())
+}
+
 fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
     let mut config = CampaignConfig::default();
     let mut target: Option<String> = None;
@@ -637,6 +818,7 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
     let mut max_repros = 8usize;
     let mut repro_dir: Option<String> = None;
     let mut replay: Option<String> = None;
+    let mut calibrate_ci: Option<f64> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| -> Result<&String, CliError> {
@@ -654,6 +836,15 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
             }
             "--repro-dir" => repro_dir = Some(value("--repro-dir")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
+            "--calibrate" => {
+                let w: f64 = value("--calibrate")?
+                    .parse()
+                    .map_err(|_| bad("--calibrate"))?;
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(bad("--calibrate"));
+                }
+                calibrate_ci = Some(w);
+            }
             "--ckpt-interval" => {
                 let k: u64 = value("--ckpt-interval")?
                     .parse()
@@ -751,6 +942,27 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
         )
         .map_err(|e| CliError::io(format!("writing repros: {e}")))?;
         println!("repros    : {} file(s) in {dir}", paths.len());
+    }
+    // Calibration mode: score the adaptive sampler's estimates against
+    // the exhaustive table just built — the sampled rates must land
+    // inside their own reported Clopper-Pearson intervals.
+    if let Some(w) = calibrate_ci {
+        if !gt.is_exhaustive() {
+            return Err(CliError::usage(
+                "--calibrate needs exhaustive ground truth (drop --limit)",
+            ));
+        }
+        let sampled = campaign.run_adaptive(SamplerConfig {
+            target_ci: w,
+            ..SamplerConfig::default()
+        });
+        let cal = calibrate(&gt, &sampled);
+        print!("{}", cal.render());
+        if !cal.passed() {
+            return Err(CliError::Oracle(
+                "sampled estimate fell outside its reported confidence interval".into(),
+            ));
+        }
     }
     if !violations.is_empty() {
         for v in &violations {

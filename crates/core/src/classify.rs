@@ -1,0 +1,346 @@
+//! Injection-site classification for stratified sampling.
+//!
+//! Hari et al.'s two-level model (Relyzer) and the ePVF paper's §IV-E
+//! sampling argument both rest on the same observation: fault outcomes are
+//! far more homogeneous *within* a class of sites than across the whole
+//! trace. A bit flipped in a `gep` index behaves like other address-bit
+//! flips (mostly crashes), a low bit of a float accumulator behaves like
+//! other low float bits (mostly benign). This module defines the coarse,
+//! cheap-to-compute classing the adaptive campaign sampler stratifies on:
+//! **opcode class × operand kind × bit band**.
+//!
+//! The classes are deliberately few (6 × 3 × 4 = 72 possible strata, far
+//! fewer occupied in practice) so that even tiny workloads put a usable
+//! number of sites in each occupied stratum, and deliberately derived only
+//! from static facts (the instruction's opcode and the operand register's
+//! type) plus the bit position, so classification is a table lookup per
+//! site and identical across threads, seeds, and resumes.
+
+use epvf_ir::{Module, Op, StaticInstId, Type};
+use std::fmt;
+
+/// Coarse opcode class of the instruction *consuming* the injected
+/// operand. Grouping follows the failure modes the paper observes:
+/// address-forming and memory-touching instructions crash, control
+/// decisions diverge, data computation silently corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Loads and stores — the operand feeds a memory access.
+    Mem,
+    /// Address arithmetic and allocation sizing: `gep`, `alloca`,
+    /// `malloc`, `free`.
+    Addr,
+    /// Control flow: conditional branches, returns, detector checks.
+    Control,
+    /// Integer computation: `bin`, `icmp`.
+    Int,
+    /// Floating-point computation: `fbin`, `fun`, `fcmp`.
+    Float,
+    /// Value plumbing: `phi`, `select`, `cast`, `call`, `output`.
+    Data,
+}
+
+impl OpClass {
+    /// Every class, in display order.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Mem,
+        OpClass::Addr,
+        OpClass::Control,
+        OpClass::Int,
+        OpClass::Float,
+        OpClass::Data,
+    ];
+
+    /// Classify one operation.
+    pub fn of(op: &Op) -> OpClass {
+        match op {
+            Op::Load { .. } | Op::Store { .. } => OpClass::Mem,
+            Op::Gep { .. } | Op::Alloca { .. } | Op::Malloc { .. } | Op::Free { .. } => {
+                OpClass::Addr
+            }
+            Op::CondBr { .. }
+            | Op::Br { .. }
+            | Op::Ret { .. }
+            | Op::Detect
+            | Op::DetectIf { .. } => OpClass::Control,
+            Op::Bin { .. } | Op::Icmp { .. } => OpClass::Int,
+            Op::FBin { .. } | Op::FUn { .. } | Op::Fcmp { .. } => OpClass::Float,
+            Op::Select { .. }
+            | Op::Phi { .. }
+            | Op::Cast { .. }
+            | Op::Call { .. }
+            | Op::Output { .. } => OpClass::Data,
+        }
+    }
+
+    /// Stable short label (used in reports and stratum keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Mem => "mem",
+            OpClass::Addr => "addr",
+            OpClass::Control => "ctl",
+            OpClass::Int => "int",
+            OpClass::Float => "flt",
+            OpClass::Data => "data",
+        }
+    }
+
+    /// Dense index (`0..6`) for table-based bookkeeping.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Mem => 0,
+            OpClass::Addr => 1,
+            OpClass::Control => 2,
+            OpClass::Int => 3,
+            OpClass::Float => 4,
+            OpClass::Data => 5,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Kind of the *operand register* being flipped, from its static type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OperandKind {
+    /// Pointer-typed register (address bits — flips mostly crash).
+    Ptr,
+    /// Integer-typed register.
+    Int,
+    /// Float-typed register (high-order corruption may still print clean).
+    Float,
+}
+
+impl OperandKind {
+    /// Every kind, in display order.
+    pub const ALL: [OperandKind; 3] = [OperandKind::Ptr, OperandKind::Int, OperandKind::Float];
+
+    /// Classify a register type.
+    pub fn of(ty: Type) -> OperandKind {
+        if ty.is_ptr() {
+            OperandKind::Ptr
+        } else if ty.is_float() {
+            OperandKind::Float
+        } else {
+            OperandKind::Int
+        }
+    }
+
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperandKind::Ptr => "ptr",
+            OperandKind::Int => "int",
+            OperandKind::Float => "flt",
+        }
+    }
+
+    /// Dense index (`0..3`).
+    pub fn index(self) -> usize {
+        match self {
+            OperandKind::Ptr => 0,
+            OperandKind::Int => 1,
+            OperandKind::Float => 2,
+        }
+    }
+}
+
+impl fmt::Display for OperandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Band of the flipped bit position. Low bits of data values tend to be
+/// benign or small-magnitude SDC; high bits of addresses crash. Bands are
+/// fixed (not width-relative) so a bit's band never depends on anything
+/// but the spec itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BitBand {
+    /// Bits 0–7.
+    B0,
+    /// Bits 8–15.
+    B8,
+    /// Bits 16–31.
+    B16,
+    /// Bits 32–63.
+    B32,
+}
+
+impl BitBand {
+    /// Every band, ascending.
+    pub const ALL: [BitBand; 4] = [BitBand::B0, BitBand::B8, BitBand::B16, BitBand::B32];
+
+    /// Band containing `bit`.
+    pub fn of(bit: u8) -> BitBand {
+        match bit {
+            0..=7 => BitBand::B0,
+            8..=15 => BitBand::B8,
+            16..=31 => BitBand::B16,
+            _ => BitBand::B32,
+        }
+    }
+
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BitBand::B0 => "b0-7",
+            BitBand::B8 => "b8-15",
+            BitBand::B16 => "b16-31",
+            BitBand::B32 => "b32-63",
+        }
+    }
+
+    /// Dense index (`0..4`).
+    pub fn index(self) -> usize {
+        match self {
+            BitBand::B0 => 0,
+            BitBand::B8 => 1,
+            BitBand::B16 => 2,
+            BitBand::B32 => 3,
+        }
+    }
+}
+
+impl fmt::Display for BitBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full stratum key of one `(site, bit)` injection: opcode class ×
+/// operand kind × bit band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteClass {
+    /// Opcode class of the consuming instruction.
+    pub op: OpClass,
+    /// Kind of the flipped operand register.
+    pub operand: OperandKind,
+    /// Band of the flipped bit.
+    pub band: BitBand,
+}
+
+impl SiteClass {
+    /// Dense index over the full `6 × 3 × 4 = 72`-cell key space.
+    pub fn index(self) -> usize {
+        (self.op.index() * OperandKind::ALL.len() + self.operand.index()) * BitBand::ALL.len()
+            + self.band.index()
+    }
+
+    /// Number of distinct keys.
+    pub const COUNT: usize = OpClass::ALL.len() * OperandKind::ALL.len() * BitBand::ALL.len();
+}
+
+impl fmt::Display for SiteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.op, self.operand, self.band)
+    }
+}
+
+/// Dense `StaticInstId -> OpClass` lookup table, built once per module so
+/// per-site classification during trace enumeration is an array index
+/// rather than a block scan.
+#[derive(Debug, Clone)]
+pub struct OpClassTable {
+    classes: Vec<OpClass>,
+}
+
+impl OpClassTable {
+    /// Scan every instruction of `module` once.
+    pub fn new(module: &Module) -> OpClassTable {
+        // Static ids are dense across the module; default the (nonexistent)
+        // gaps to Data so lookups are total.
+        let mut classes = vec![OpClass::Data; module.n_static_insts as usize];
+        for f in &module.functions {
+            for inst in f.insts() {
+                classes[inst.sid.index()] = OpClass::of(&inst.op);
+            }
+        }
+        OpClassTable { classes }
+    }
+
+    /// Opcode class of a static instruction.
+    pub fn class_of(&self, sid: StaticInstId) -> OpClass {
+        self.classes[sid.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epvf_ir::{ModuleBuilder, Value};
+
+    #[test]
+    fn bands_partition_the_bit_range() {
+        for bit in 0u8..64 {
+            let band = BitBand::of(bit);
+            let hits = BitBand::ALL.iter().filter(|b| **b == band).count();
+            assert_eq!(hits, 1);
+        }
+        assert_eq!(BitBand::of(0), BitBand::B0);
+        assert_eq!(BitBand::of(7), BitBand::B0);
+        assert_eq!(BitBand::of(8), BitBand::B8);
+        assert_eq!(BitBand::of(31), BitBand::B16);
+        assert_eq!(BitBand::of(63), BitBand::B32);
+    }
+
+    #[test]
+    fn site_class_indices_are_dense_and_unique() {
+        let mut seen = [false; SiteClass::COUNT];
+        for op in OpClass::ALL {
+            for operand in OperandKind::ALL {
+                for band in BitBand::ALL {
+                    let k = SiteClass { op, operand, band };
+                    assert!(k.index() < SiteClass::COUNT);
+                    assert!(!seen[k.index()], "duplicate index for {k}");
+                    seen[k.index()] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn operand_kinds_follow_types() {
+        assert_eq!(OperandKind::of(Type::Ptr), OperandKind::Ptr);
+        assert_eq!(OperandKind::of(Type::F32), OperandKind::Float);
+        assert_eq!(OperandKind::of(Type::F64), OperandKind::Float);
+        for t in [Type::I1, Type::I8, Type::I16, Type::I32, Type::I64] {
+            assert_eq!(OperandKind::of(t), OperandKind::Int);
+        }
+    }
+
+    #[test]
+    fn op_class_table_matches_direct_classification() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", vec![], None);
+        let p = mb_malloc(&mut f);
+        let a = f.add(Type::I32, Value::i32(1), Value::i32(2));
+        let slot = f.gep(p, a, 4);
+        f.store(Type::I32, a, slot);
+        let v = f.load(Type::I32, slot);
+        f.output(Type::I32, v);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let table = OpClassTable::new(&m);
+        let mut found = std::collections::BTreeSet::new();
+        for func in &m.functions {
+            for inst in func.insts() {
+                assert_eq!(table.class_of(inst.sid), OpClass::of(&inst.op));
+                found.insert(table.class_of(inst.sid));
+            }
+        }
+        for class in [OpClass::Mem, OpClass::Addr, OpClass::Int, OpClass::Data] {
+            assert!(found.contains(&class), "{class} present in module");
+        }
+    }
+
+    fn mb_malloc(f: &mut epvf_ir::FunctionBuilder<'_>) -> Value {
+        f.malloc(Value::i64(64))
+    }
+}

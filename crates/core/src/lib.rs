@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod census;
+mod classify;
 mod crash_model;
 mod epvf;
 mod per_inst;
@@ -56,6 +57,7 @@ mod range;
 mod sampling;
 
 pub use census::{bit_census, BitCensus, CensusRow};
+pub use classify::{BitBand, OpClass, OpClassTable, OperandKind, SiteClass};
 pub use crash_model::{check_boundary, CrashModelConfig};
 pub use epvf::{analyze, compute_metrics, trace_use_bits, EpvfConfig, EpvfMetrics, EpvfResult};
 pub use per_inst::{cdf, per_instruction_scores, InstScore};

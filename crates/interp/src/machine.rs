@@ -725,7 +725,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             // Skip the zeroth check: a run shorter than one stride never
             // pays for a clock read.
             if self.dyn_count != 0
-                && self.dyn_count % DEADLINE_CHECK_STRIDE == 0
+                && self.dyn_count.is_multiple_of(DEADLINE_CHECK_STRIDE)
                 && start.elapsed() > limit
             {
                 epvf_telemetry::add(Ctr::WatchdogDeadlineKills, 1);

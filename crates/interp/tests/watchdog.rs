@@ -97,7 +97,7 @@ fn expired_deadline_times_out_at_a_stride_boundary() {
     let m = loop_sum_module();
     // A zero deadline has already expired when the first stride check
     // runs, so the loop must be long enough to reach one.
-    let iters = DEADLINE_CHECK_STRIDE as u64; // ~6 insts per iteration
+    let iters = DEADLINE_CHECK_STRIDE; // ~6 insts per iteration
     let r = Interpreter::new(
         &m,
         ExecConfig {
@@ -109,7 +109,7 @@ fn expired_deadline_times_out_at_a_stride_boundary() {
     .expect("setup ok");
     assert_eq!(r.outcome, Outcome::TimedOut(TimeoutKind::Deadline));
     assert!(
-        r.dyn_insts <= 2 * DEADLINE_CHECK_STRIDE as u64,
+        r.dyn_insts <= 2 * DEADLINE_CHECK_STRIDE,
         "kill within the first strides, got {}",
         r.dyn_insts
     );

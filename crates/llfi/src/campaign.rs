@@ -593,12 +593,17 @@ impl<'m> Campaign<'m> {
             .filter(|&i| outcomes[i].is_none())
             .collect();
         order.sort_by_key(|&i| (specs[i].dyn_idx, i));
-        let progress = Progress::new(&format!("inject {}", self.entry), order.len() as u64);
+        let label = format!("inject {}", self.entry);
+        let progress = if session.quiet {
+            Progress::off(&label, order.len() as u64)
+        } else {
+            Progress::new(&label, order.len() as u64)
+        };
         if threads == 1 || order.len() < 32 {
             for (done, &i) in order.iter().enumerate() {
                 let (o, q) = self.run_spec_supervised(i, specs[i]);
                 if let Some(sink) = session.wal {
-                    sink.append(i, specs[i], o);
+                    sink.append(session.index_base + i, specs[i], o);
                 }
                 outcomes[i] = Some(o);
                 quarantines.extend(q);
@@ -623,7 +628,7 @@ impl<'m> Campaign<'m> {
                                     let Some(&i) = order.get(k) else { break };
                                     let (o, q) = self.run_spec_supervised(i, specs[i]);
                                     if let Some(sink) = session.wal {
-                                        sink.append(i, specs[i], o);
+                                        sink.append(session.index_base + i, specs[i], o);
                                     }
                                     local.push((i, o, q));
                                     progress.tick(done.fetch_add(1, Ordering::Relaxed) as u64 + 1);
@@ -647,7 +652,7 @@ impl<'m> Campaign<'m> {
                 if outcomes[i].is_none() {
                     let (o, q) = self.run_spec_supervised(i, specs[i]);
                     if let Some(sink) = session.wal {
-                        sink.append(i, specs[i], o);
+                        sink.append(session.index_base + i, specs[i], o);
                     }
                     outcomes[i] = Some(o);
                     quarantines.extend(q);

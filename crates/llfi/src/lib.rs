@@ -42,6 +42,7 @@
 
 mod accuracy;
 mod campaign;
+mod sampler;
 mod site;
 mod stats;
 mod supervise;
@@ -54,7 +55,12 @@ pub use campaign::{
     Campaign, CampaignConfig, CampaignError, CampaignResult, InjOutcome, OutputCompare,
     QuarantineRecord,
 };
+pub use sampler::{
+    AdaptiveSampler, RateEstimate, RoundInfo, SampledCampaign, SamplerConfig, StratumReport,
+};
 pub use site::{injectable_operand, InjectionSite, SiteTable};
-pub use stats::{ci95, geomean, mean};
+pub use stats::{ci95, clopper_pearson95, clopper_pearson_f, geomean, mean, wilson95_f};
 pub use supervise::RunSession;
-pub use wal::{wal_fingerprint, RecoveredWal, WalError, WalSink, WAL_MAGIC};
+pub use wal::{
+    wal_fingerprint, wal_fingerprint_adaptive, RecoveredWal, WalError, WalSink, WAL_MAGIC,
+};

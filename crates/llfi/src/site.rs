@@ -7,6 +7,7 @@
 //! receive proportionally more faults — the same space the analytical
 //! crash-rate estimate integrates over.
 
+use epvf_core::{BitBand, OpClass, OpClassTable, OperandKind, SiteClass};
 use epvf_interp::{DynInst, InjectionSpec, Trace};
 use epvf_ir::{Module, Value};
 use rand::Rng;
@@ -34,6 +35,21 @@ pub struct InjectionSite {
     pub slot: usize,
     /// Register width in bits.
     pub width: u32,
+    /// Opcode class of the consuming instruction (stratification key).
+    pub op_class: OpClass,
+    /// Kind of the operand register (stratification key).
+    pub operand_kind: OperandKind,
+}
+
+impl InjectionSite {
+    /// Full stratum key of flipping `bit` at this site.
+    pub fn class_of_bit(&self, bit: u8) -> SiteClass {
+        SiteClass {
+            op: self.op_class,
+            operand: self.operand_kind,
+            band: BitBand::of(bit),
+        }
+    }
 }
 
 /// All injectable sites of a golden trace, with cumulative bit weights for
@@ -48,6 +64,7 @@ pub struct SiteTable {
 impl SiteTable {
     /// Enumerate every register-operand read in the trace.
     pub fn from_trace(module: &Module, trace: &Trace) -> Self {
+        let classes = OpClassTable::new(module);
         let mut sites = Vec::new();
         let mut cum = Vec::new();
         let mut total = 0u64;
@@ -56,11 +73,18 @@ impl SiteTable {
                 let Some(width) = injectable_operand(module, rec, slot) else {
                     continue;
                 };
+                // `injectable_operand` proved the operand is a register.
+                let Value::Reg(r) = rec.operands[slot].value else {
+                    unreachable!("injectable operand is a register")
+                };
+                let ty = module.functions[rec.func.index()].value_types[r.index()];
                 total += u64::from(width);
                 sites.push(InjectionSite {
                     dyn_idx: rec.idx,
                     slot,
                     width,
+                    op_class: classes.class_of(rec.sid),
+                    operand_kind: OperandKind::of(ty),
                 });
                 cum.push(total);
             }
@@ -190,6 +214,24 @@ mod tests {
             let s = t.sample(&mut rng);
             assert!(specs.contains(&s));
         }
+    }
+
+    #[test]
+    fn sites_carry_their_stratum_classes() {
+        let t = table();
+        // The builder module is pure integer data-flow: adds (Int), a zext
+        // (Data/cast), and an output (Data); every operand register is an
+        // integer.
+        use epvf_core::{OpClass, OperandKind};
+        for s in t.sites() {
+            assert_eq!(s.operand_kind, OperandKind::Int);
+            assert!(matches!(s.op_class, OpClass::Int | OpClass::Data));
+            let k = s.class_of_bit(3);
+            assert_eq!(k.op, s.op_class);
+            assert_eq!(k.band, epvf_core::BitBand::of(3));
+        }
+        assert!(t.sites().iter().any(|s| s.op_class == OpClass::Int));
+        assert!(t.sites().iter().any(|s| s.op_class == OpClass::Data));
     }
 
     #[test]

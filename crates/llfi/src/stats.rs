@@ -1,22 +1,198 @@
-//! Small statistics helpers: Wilson 95% confidence intervals for the
-//! proportions the paper reports with error bars (Figs. 5, 8, 9, 13).
+//! Small statistics helpers: binomial-proportion confidence intervals for
+//! the rates the paper reports with error bars (Figs. 5, 8, 9, 13), in two
+//! flavors — the Wilson score interval (good coverage, cheap) and the
+//! exact Clopper-Pearson interval (conservative: guaranteed ≥95% coverage,
+//! inverted from the binomial tails themselves). The adaptive campaign
+//! sampler reports both so downstream comparisons can pick their risk
+//! posture; its within-CI calibration checks use Clopper-Pearson.
+
+/// `Φ⁻¹(0.975)` — the z-score behind every 95% interval in this crate.
+pub(crate) const Z95: f64 = 1.959_963_985;
 
 /// Wilson score interval at 95% confidence for `successes / n`.
 ///
 /// Returns `(0.0, 1.0)` when `n == 0`. Preferred over the normal
 /// approximation because campaign proportions can sit near 0 or 1.
 pub fn ci95(successes: usize, n: usize) -> (f64, f64) {
-    if n == 0 {
+    wilson95_f(successes as f64, n as f64)
+}
+
+/// Wilson score interval over *effective* (possibly fractional) counts —
+/// the form the stratified estimator needs, where `n` is a Kish effective
+/// sample size rather than an integer run count. `ci95` is the integer
+/// wrapper around this.
+pub fn wilson95_f(successes: f64, n: f64) -> (f64, f64) {
+    if n <= 0.0 {
         return (0.0, 1.0);
     }
-    let z = 1.959_963_985; // Φ⁻¹(0.975)
-    let n_f = n as f64;
-    let p = successes as f64 / n_f;
-    let z2 = z * z;
-    let denom = 1.0 + z2 / n_f;
-    let center = (p + z2 / (2.0 * n_f)) / denom;
-    let half = (z / denom) * ((p * (1.0 - p) / n_f) + z2 / (4.0 * n_f * n_f)).sqrt();
+    let p = (successes / n).clamp(0.0, 1.0);
+    let z2 = Z95 * Z95;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (Z95 / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
     ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Exact Clopper-Pearson interval at 95% confidence for `successes / n`.
+///
+/// The lower bound is the `p` at which `P[X ≥ s] = α/2` and the upper the
+/// `p` at which `P[X ≤ s] = α/2` (for `X ~ Binomial(n, p)`), i.e. the
+/// Beta-quantile form `(BetaInv(α/2; s, n−s+1), BetaInv(1−α/2; s+1, n−s))`
+/// with the conventional edge cases: lower bound 0 when `s = 0`, upper
+/// bound 1 when `s = n`. Returns `(0.0, 1.0)` when `n == 0`. Guaranteed-
+/// coverage (conservative), so a "truth within CI" assertion that uses it
+/// never fails spuriously for want of interval width.
+pub fn clopper_pearson95(successes: usize, n: usize) -> (f64, f64) {
+    clopper_pearson_f(successes as f64, n as f64)
+}
+
+/// [`clopper_pearson95`] over effective fractional counts (`successes`
+/// clamped into `[0, n]`), for the stratified estimator's reports.
+pub fn clopper_pearson_f(successes: f64, n: f64) -> (f64, f64) {
+    const ALPHA_2: f64 = 0.025;
+    if n <= 0.0 {
+        return (0.0, 1.0);
+    }
+    let s = successes.clamp(0.0, n);
+    let lo = if s <= 0.0 {
+        0.0
+    } else {
+        beta_inv(ALPHA_2, s, n - s + 1.0)
+    };
+    let hi = if s >= n {
+        1.0
+    } else {
+        beta_inv(1.0 - ALPHA_2, s + 1.0, n - s)
+    };
+    (lo, hi)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued-fraction expansion (Numerical Recipes §6.4), with the
+/// symmetry transform applied when `x` is past the distribution's bulk so
+/// the fraction converges quickly.
+fn beta_reg(x: f64, a: f64, b: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    // ln B(a,b) via ln Γ; the prefactor x^a (1-x)^b / B(a,b). The symmetry
+    // transform is applied inline (not by recursing) so an `x` exactly on
+    // the branch threshold cannot ping-pong between the two forms.
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() / a) * beta_cf(x, a, b)
+    } else {
+        1.0 - (ln_front.exp() / b) * beta_cf(1.0 - x, b, a)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// `ln Γ(x)` (Lanczos, g=7, 9 coefficients; |error| < 1e-13 for x > 0).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_1,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Inverse of [`beta_reg`] in `x` by bisection — monotone, bounded, and
+/// called a handful of times per campaign, so robustness beats speed.
+fn beta_inv(p: f64, a: f64, b: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if beta_reg(mid, a, b) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 /// Sample mean.
@@ -60,6 +236,106 @@ mod tests {
         assert!(lo > 0.85 && lo < 1.0);
         assert_eq!(hi, 1.0);
         assert_eq!(ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn clopper_pearson_edges_and_containment() {
+        assert_eq!(clopper_pearson95(0, 0), (0.0, 1.0));
+        let (lo, hi) = clopper_pearson95(0, 20);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.2);
+        let (lo, hi) = clopper_pearson95(20, 20);
+        assert!(lo > 0.8 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+        // "Rule of three": upper bound at 0/n ≈ 3.69/n for the two-sided
+        // 95% interval.
+        let (_, hi) = clopper_pearson95(0, 100);
+        assert!((hi - 0.0362).abs() < 0.002, "hi = {hi}");
+    }
+
+    #[test]
+    fn beta_reg_matches_known_values() {
+        // I_x(1, b) = 1 - (1-x)^b exactly.
+        for &(x, b) in &[(0.1, 3.0), (0.5, 7.0), (0.9, 2.0)] {
+            let want = 1.0 - (1.0_f64 - x).powf(b);
+            assert!((beta_reg(x, 1.0, b) - want).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+        let v = beta_reg(0.3, 4.0, 9.0);
+        assert!((v - (1.0 - beta_reg(0.7, 9.0, 4.0))).abs() < 1e-10);
+    }
+
+    /// `P[X ≥ s]` for `X ~ Binomial(n, p)` by direct tail summation —
+    /// the definition the exact interval must invert.
+    fn binom_upper_tail(s: usize, n: usize, p: f64) -> f64 {
+        let mut total = 0.0;
+        for k in s..=n {
+            // C(n, k) via ln Γ for numerical range.
+            let ln_c = ln_gamma(n as f64 + 1.0)
+                - ln_gamma(k as f64 + 1.0)
+                - ln_gamma((n - k) as f64 + 1.0);
+            let ln_term =
+                ln_c + k as f64 * p.max(1e-300).ln() + (n - k) as f64 * (1.0 - p).max(1e-300).ln();
+            total += ln_term.exp();
+        }
+        total.min(1.0)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The exact interval's defining property, checked against brute-
+        /// force binomial tail sums: at the lower bound the upper tail
+        /// `P[X ≥ s]` equals α/2; at the upper bound the lower tail
+        /// `P[X ≤ s] = 1 − P[X ≥ s+1]` equals α/2.
+        #[test]
+        fn clopper_pearson_inverts_binomial_tails(n in 1usize..30, raw in 0usize..31) {
+            let s = raw % (n + 1);
+            let (lo, hi) = clopper_pearson95(s, n);
+            if s > 0 {
+                proptest::prop_assert!((binom_upper_tail(s, n, lo) - 0.025).abs() < 1e-6,
+                    "lower bound tail off: n={} s={} lo={}", n, s, lo);
+            }
+            if s < n {
+                let lower_tail = 1.0 - binom_upper_tail(s + 1, n, hi);
+                proptest::prop_assert!((lower_tail - 0.025).abs() < 1e-6,
+                    "upper bound tail off: n={} s={} hi={}", n, s, hi);
+            }
+        }
+
+        /// Exact interval contains the point estimate and the Wilson
+        /// interval's center; both intervals shrink with n; Clopper-Pearson
+        /// is at least as wide as Wilson at the same counts (it is the
+        /// conservative one).
+        #[test]
+        fn intervals_are_ordered_and_contain_the_estimate(n in 1usize..60, raw in 0usize..61) {
+            let s = raw % (n + 1);
+            let p = s as f64 / n as f64;
+            let (wl, wh) = ci95(s, n);
+            let (cl, ch) = clopper_pearson95(s, n);
+            proptest::prop_assert!(wl <= p + 1e-12 && p <= wh + 1e-12);
+            proptest::prop_assert!(cl <= p + 1e-12 && p <= ch + 1e-12);
+            proptest::prop_assert!((0.0..=1.0).contains(&cl) && (0.0..=1.0).contains(&ch));
+            proptest::prop_assert!(cl <= ch);
+            // CP ⊇ Wilson up to a small numerical slack.
+            proptest::prop_assert!(ch - cl >= (wh - wl) - 1e-9,
+                "CP narrower than Wilson: n={} s={}", n, s);
+            // Quadrupling n must not widen either interval.
+            let (wl4, wh4) = ci95(4 * s, 4 * n);
+            proptest::prop_assert!(wh4 - wl4 <= (wh - wl) + 1e-12);
+        }
+
+        /// Fractional-count forms agree with the integer forms on integers.
+        #[test]
+        fn fractional_forms_extend_integer_forms(n in 1usize..40, raw in 0usize..41) {
+            let s = raw % (n + 1);
+            let (a, b) = ci95(s, n);
+            let (af, bf) = wilson95_f(s as f64, n as f64);
+            proptest::prop_assert!((a - af).abs() < 1e-12 && (b - bf).abs() < 1e-12);
+            let (c, d) = clopper_pearson95(s, n);
+            let (cf, df) = clopper_pearson_f(s as f64, n as f64);
+            proptest::prop_assert!((c - cf).abs() < 1e-12 && (d - df).abs() < 1e-12);
+        }
     }
 
     #[test]

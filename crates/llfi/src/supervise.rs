@@ -64,10 +64,19 @@ fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct RunSession<'w> {
     /// `spec-list index -> outcome` salvaged by
     /// [`WalSink::recover`](crate::WalSink::recover); prefilled into the
-    /// result instead of being re-run.
+    /// result instead of being re-run. Keys are *local* to the spec list
+    /// being run; a caller resuming a multi-round campaign shifts its
+    /// global WAL indices down by [`RunSession::index_base`] first.
     pub recovered: BTreeMap<usize, InjOutcome>,
     /// Live WAL to append each completed run to.
     pub wal: Option<&'w WalSink>,
+    /// Offset added to local spec indices in WAL records. A single-shot
+    /// campaign leaves this 0; the adaptive sampler sets it to the number
+    /// of runs already executed in earlier rounds, so one WAL spans the
+    /// whole multi-round campaign with globally unique indices.
+    pub index_base: usize,
+    /// Suppress this run's own progress line (the caller drives one).
+    pub quiet: bool,
 }
 
 impl Campaign<'_> {

@@ -91,6 +91,42 @@ pub fn wal_fingerprint(
     h.0
 }
 
+/// Fingerprint of one *adaptive* campaign invocation. An adaptive
+/// campaign's spec list is not known upfront (each round's allocation
+/// depends on earlier outcomes), but it **is** a pure function of the
+/// campaign inputs and the sampler configuration — so hashing those plus
+/// the exact config pins the execution sequence just as tightly as the
+/// explicit spec list does for [`wal_fingerprint`]. A `0xfd` domain
+/// separator keeps adaptive and exhaustive fingerprints disjoint even for
+/// identical module/entry/args.
+#[allow(clippy::too_many_arguments)]
+pub fn wal_fingerprint_adaptive(
+    module_text: &str,
+    entry: &str,
+    args: &[u64],
+    target_ci: f64,
+    pilot: usize,
+    batch: usize,
+    max_runs: usize,
+    seed: u64,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(module_text.as_bytes());
+    h.update(&[0xff]);
+    h.update(entry.as_bytes());
+    h.update(&[0xff]);
+    for &a in args {
+        h.update(&a.to_le_bytes());
+    }
+    h.update(&[0xfd]);
+    h.update(&target_ci.to_bits().to_le_bytes());
+    h.update(&(pilot as u64).to_le_bytes());
+    h.update(&(batch as u64).to_le_bytes());
+    h.update(&(max_runs as u64).to_le_bytes());
+    h.update(&seed.to_le_bytes());
+    h.0
+}
+
 /// Why a WAL could not be opened or recovered.
 #[derive(Debug)]
 pub enum WalError {

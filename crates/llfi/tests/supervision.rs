@@ -201,6 +201,7 @@ fn wal_session_resumes_to_identical_outcomes() {
     let session = RunSession {
         recovered: BTreeMap::new(),
         wal: Some(&sink),
+        ..RunSession::default()
     };
     let full = campaign.run_specs_session(&specs, &session);
     sink.flush();
@@ -227,6 +228,7 @@ fn wal_session_resumes_to_identical_outcomes() {
             .map(|(i, (_, o))| (i, o))
             .collect(),
         wal: Some(&sink),
+        ..RunSession::default()
     };
     let resumed = campaign.run_specs_session(&specs, &session);
     sink.flush();
@@ -249,6 +251,7 @@ fn wal_outcomes_match_a_wal_free_run() {
     let session = RunSession {
         recovered: BTreeMap::new(),
         wal: Some(&sink),
+        ..RunSession::default()
     };
     let walled = campaign.run_specs_session(&specs, &session);
     sink.flush();

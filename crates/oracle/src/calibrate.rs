@@ -1,0 +1,163 @@
+//! Calibration of sampled campaigns against exhaustive ground truth.
+//!
+//! The adaptive sampler's whole value proposition is "the same answer as
+//! exhaustive enumeration, inside the reported confidence interval, for a
+//! fraction of the runs". This module *checks* that proposition: run the
+//! exhaustive sweep (the oracle's usual product), run the adaptive sampled
+//! campaign, and score the sampled point estimates against the exact
+//! population rates using the sampler's own reported Clopper-Pearson
+//! bounds — the conservative interval, so a failed calibration means the
+//! estimator is genuinely off, not that the interval was optimistically
+//! narrow. `epvf oracle --calibrate <w>` and the `adaptive_campaign`
+//! bench harness both report through this type.
+
+use crate::ground_truth::GroundTruth;
+use epvf_llfi::{InjOutcome, SampledCampaign};
+
+/// Sampled-vs-exhaustive scorecard for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Exact SDC rate over the exhaustive universe.
+    pub sdc_truth: f64,
+    /// Exact crash rate over the exhaustive universe.
+    pub crash_truth: f64,
+    /// Sampled SDC estimate error `|p̂ − p|`.
+    pub sdc_error: f64,
+    /// Sampled crash estimate error `|p̂ − p|`.
+    pub crash_error: f64,
+    /// Whether the exact SDC rate lies inside the sampled estimate's
+    /// Clopper-Pearson interval.
+    pub sdc_within_ci: bool,
+    /// Whether the exact crash rate lies inside the sampled estimate's
+    /// Clopper-Pearson interval.
+    pub crash_within_ci: bool,
+    /// Runs the sampler executed.
+    pub executed: usize,
+    /// Runs the exhaustive sweep executed.
+    pub exhaustive_runs: usize,
+    /// `exhaustive_runs / executed` — the run-count savings factor.
+    pub savings: f64,
+    /// Whether the sampler met its CI target (vs cap/exhaustion stop).
+    pub converged: bool,
+}
+
+impl Calibration {
+    /// Whether both rates were bracketed by their reported intervals —
+    /// the acceptance gate CI jobs assert.
+    pub fn passed(&self) -> bool {
+        self.sdc_within_ci && self.crash_within_ci
+    }
+
+    /// One-paragraph report in the oracle's plain-text style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "calibration: {} ({} sampled vs {} exhaustive, {:.1}x savings)\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.executed,
+            self.exhaustive_runs,
+            self.savings,
+        ));
+        out.push_str(&format!(
+            "  sdc   truth {:.4}  error {:.4}  within-ci {}\n",
+            self.sdc_truth, self.sdc_error, self.sdc_within_ci,
+        ));
+        out.push_str(&format!(
+            "  crash truth {:.4}  error {:.4}  within-ci {}\n",
+            self.crash_truth, self.crash_error, self.crash_within_ci,
+        ));
+        out.push_str(&format!(
+            "  converged {}\n",
+            if self.converged {
+                "yes (CI target met)"
+            } else {
+                "no (stopped on cap/exhaustion)"
+            }
+        ));
+        out
+    }
+}
+
+/// Score a sampled campaign against exhaustive ground truth of the same
+/// workload. `truth` should be an exhaustive sweep ([`GroundTruth::
+/// is_exhaustive`]); a subsampled table still works but the "truth" is
+/// then itself an estimate, which weakens the verdict.
+pub fn calibrate(truth: &GroundTruth, sampled: &SampledCampaign) -> Calibration {
+    let n = truth.runs.len().max(1) as f64;
+    let sdc_truth = truth.count(|o| o == InjOutcome::Sdc) as f64 / n;
+    let crash_truth = truth.count(InjOutcome::is_crash) as f64 / n;
+    Calibration {
+        sdc_truth,
+        crash_truth,
+        sdc_error: (sampled.sdc.rate - sdc_truth).abs(),
+        crash_error: (sampled.crash.rate - crash_truth).abs(),
+        sdc_within_ci: sampled.sdc.brackets(sdc_truth),
+        crash_within_ci: sampled.crash.brackets(crash_truth),
+        executed: sampled.executed,
+        exhaustive_runs: truth.runs.len(),
+        savings: if sampled.executed == 0 {
+            1.0
+        } else {
+            truth.runs.len() as f64 / sampled.executed as f64
+        },
+        converged: sampled.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epvf_ir::{ModuleBuilder, Type, Value};
+    use epvf_llfi::{Campaign, CampaignConfig, SamplerConfig};
+
+    fn module() -> epvf_ir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", vec![], None);
+        let p = f.malloc(Value::i64(64));
+        let slot = f.gep(p, Value::i32(3), 8);
+        f.store(Type::I64, Value::i64(5), slot);
+        let v = f.load(Type::I64, slot);
+        let w = f.add(Type::I64, v, Value::i64(9));
+        f.output(Type::I64, w);
+        f.ret(None);
+        f.finish();
+        mb.finish().expect("verifies")
+    }
+
+    #[test]
+    fn sampled_estimates_calibrate_against_exhaustive_truth() {
+        let m = module();
+        let campaign = Campaign::new(&m, "main", &[], CampaignConfig::default()).expect("golden");
+        let truth = crate::sweep(&campaign, 0);
+        assert!(truth.is_exhaustive());
+        let sampled = campaign.run_adaptive(SamplerConfig {
+            target_ci: 0.08,
+            pilot: 8,
+            batch: 32,
+            seed: 2,
+            ..SamplerConfig::default()
+        });
+        let cal = calibrate(&truth, &sampled);
+        assert!(cal.passed(), "{}", cal.render());
+        assert!(cal.savings >= 1.0);
+        assert!(cal.render().contains("PASS"));
+    }
+
+    #[test]
+    fn exhaustive_degeneration_scores_zero_error() {
+        let m = module();
+        let campaign = Campaign::new(&m, "main", &[], CampaignConfig::default()).expect("golden");
+        let truth = crate::sweep(&campaign, 0);
+        // target_ci 0 forces the sampler through the whole population;
+        // the "estimate" is then the exact rate.
+        let sampled = campaign.run_adaptive(SamplerConfig {
+            target_ci: 0.0,
+            seed: 1,
+            ..SamplerConfig::default()
+        });
+        let cal = calibrate(&truth, &sampled);
+        assert!(cal.passed(), "{}", cal.render());
+        assert!(cal.sdc_error < 1e-12 && cal.crash_error < 1e-12);
+        assert!((cal.savings - 1.0).abs() < 1e-12);
+    }
+}

@@ -33,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+mod calibrate;
 mod diff;
 mod generator;
 mod ground_truth;
 mod repro;
 
+pub use calibrate::{calibrate, Calibration};
 pub use diff::{
     check_module, check_module_with, differential_check, hard_invariant_scan, Confusion,
     DiffReport, Disagreement, DisagreementKind, HardViolation, OracleOutcome,

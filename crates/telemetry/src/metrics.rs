@@ -167,6 +167,17 @@ define_counters! {
         "torn or checksum-failing tail records discarded during recovery"),
     WalDuplicatesDropped => ("llfi.wal.duplicates_dropped", Sum, false,
         "duplicate per-spec records ignored during recovery (latest wins)"),
+    // --- adaptive stratified sampler ---
+    SamplerStrata => ("llfi.sampler.strata", Max, true,
+        "occupied strata partitioning the sampled campaign's site universe"),
+    SamplerRounds => ("llfi.sampler.rounds", Sum, true,
+        "adaptive allocation rounds executed (pilot round included)"),
+    SamplerAllocated => ("llfi.sampler.allocated", Sum, true,
+        "injection runs allocated across strata by the adaptive sampler"),
+    SamplerExecuted => ("llfi.sampler.executed", Sum, true,
+        "allocated runs actually executed by sampled campaigns"),
+    SamplerCiHalfWidthPpm => ("llfi.sampler.ci_halfwidth_ppm", Max, true,
+        "95% CI half-width at stop, parts per million (worst of SDC/crash)"),
     // --- oracle ---
     OracleSweepFlips => ("oracle.sweep.flips", Sum, true,
         "ground-truth bit flips executed by oracle sweeps"),

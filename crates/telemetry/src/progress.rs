@@ -6,6 +6,7 @@
 
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Minimum nanoseconds between repaints.
@@ -20,6 +21,9 @@ pub struct Progress {
     /// Nanoseconds since `start` of the last repaint (u64::MAX = never
     /// painted); doubles as the repaint mutex via compare-exchange.
     last_paint_ns: AtomicU64,
+    /// Free-form suffix appended to the status line (e.g. the adaptive
+    /// sampler's live CI half-width); set between rounds, read per paint.
+    status: Mutex<String>,
     enabled: bool,
 }
 
@@ -36,7 +40,31 @@ impl Progress {
             total,
             start: Instant::now(),
             last_paint_ns: AtomicU64::new(u64::MAX),
+            status: Mutex::new(String::new()),
             enabled,
+        }
+    }
+
+    /// A reporter that never paints — for inner work loops whose caller
+    /// already drives a display (the adaptive sampler's per-round campaign
+    /// batches would otherwise flicker two competing status lines).
+    pub fn off(label: &str, total: u64) -> Self {
+        Progress {
+            label: label.to_string(),
+            total,
+            start: Instant::now(),
+            last_paint_ns: AtomicU64::new(u64::MAX),
+            status: Mutex::new(String::new()),
+            enabled: false,
+        }
+    }
+
+    /// Replace the status suffix shown after the rate/elapsed block; the
+    /// next repaint picks it up. Pass `""` to clear.
+    pub fn set_status(&self, status: &str) {
+        if let Ok(mut s) = self.status.lock() {
+            s.clear();
+            s.push_str(status);
         }
     }
 
@@ -78,6 +106,12 @@ impl Progress {
         } else {
             format!("\r{}: {} {:.0}/s {:.1}s", self.label, done, rate, secs)
         };
+        if let Ok(status) = self.status.lock() {
+            if !status.is_empty() {
+                line.push(' ');
+                line.push_str(&status);
+            }
+        }
         // Pad so a shorter repaint fully overwrites the previous one.
         while line.len() < 60 {
             line.push(' ');
@@ -132,6 +166,18 @@ mod tests {
             }
             p.finish();
         }
+    }
+
+    #[test]
+    fn off_reporter_never_paints_and_accepts_status() {
+        let p = Progress::off("sampler", 10);
+        assert!(!p.enabled());
+        p.set_status("ci ±0.0123");
+        for i in 0..10 {
+            p.tick(i);
+        }
+        p.set_status("");
+        p.finish();
     }
 
     #[test]

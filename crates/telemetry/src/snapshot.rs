@@ -169,6 +169,24 @@ impl MetricsSnapshot {
                 c("interp.insts_retired")
             ),
         );
+        law(
+            c("llfi.sampler.executed") <= c("llfi.sampler.allocated"),
+            format!(
+                "sampler executed {} runs but only {} were allocated",
+                c("llfi.sampler.executed"),
+                c("llfi.sampler.allocated")
+            ),
+        );
+        law(
+            c("llfi.sampler.executed") <= c("llfi.campaign.runs_total"),
+            // Every sampled run goes through the supervised campaign path,
+            // which counts it in runs_total; exhaustive campaigns add more.
+            format!(
+                "sampler executed {} runs but campaigns only classified {}",
+                c("llfi.sampler.executed"),
+                c("llfi.campaign.runs_total")
+            ),
+        );
         let confusion = c("oracle.diff.true_positives")
             + c("oracle.diff.false_positives")
             + c("oracle.diff.false_negatives")

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`. Provides the API surface used by the
+//! workspace benches (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, `black_box`) with a plain measure-and-print loop instead
+//! of criterion's statistical machinery. `--test` on the command line (as
+//! passed by the CI smoke job `cargo bench -- --test`) runs each closure
+//! once and reports `ok`.
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; only the shape is honored here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Units-of-work annotation; recorded for display only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bench driver handed to each closure.
+pub struct Bencher {
+    samples: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples (once in `--test`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..n {
+            black_box(f());
+        }
+    }
+
+    /// Timed routine with untimed setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let n = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..n {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+/// Top-level bench context.
+pub struct Criterion {
+    sample_size: u64,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of iterations per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        let elapsed = start.elapsed();
+        if self.test_mode {
+            println!("bench {name}: ok");
+        } else {
+            let iters = self.sample_size.max(1);
+            println!(
+                "bench {name}: {:.3} ms/iter ({} iters)",
+                elapsed.as_secs_f64() * 1e3 / iters as f64,
+                iters
+            );
+        }
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named group; benches print as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the units of work per iteration (display only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a bench group: either `criterion_group!(name, target, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

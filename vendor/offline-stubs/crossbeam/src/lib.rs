@@ -1,0 +1,148 @@
+//! Offline stand-in for `crossbeam`, providing only [`scope`] with the
+//! crossbeam 0.8 signature (`scope.spawn(|scope| ..)`,
+//! `handle.join() -> thread::Result<T>`). Implemented the same way
+//! upstream does it: closures are boxed, lifetime-erased to `'static`
+//! for `std::thread::spawn`, and the scope joins every spawned thread
+//! before returning, which is what makes the erasure sound.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+/// Pointer wrapper so the scope reference can cross the spawn boundary;
+/// `Scope` is `Sync`, and the scope outlives every worker by construction.
+struct SendPtr<T>(*const T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// A scope in which borrowed-data threads can be spawned.
+pub struct Scope<'env> {
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to one scoped thread; `join` returns the closure's result or
+/// its panic payload.
+pub struct ScopedJoinHandle<'scope, T> {
+    rx: mpsc::Receiver<thread::Result<T>>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread and return its result (`Err` if it panicked).
+    pub fn join(self) -> thread::Result<T> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            // Worker vanished without reporting: surface as a panic-shaped
+            // error so callers' `.ok()` filtering behaves as with upstream.
+            Err(_) => Err(Box::new("scoped worker terminated without a result")),
+        }
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a thread that may borrow from `'env`; joined by scope exit at
+    /// the latest.
+    pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let (tx, rx) = mpsc::channel();
+        let scope_ptr = SendPtr(self as *const Scope<'env>);
+        let closure: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // Capture the whole wrapper, not just its (non-Send) pointer
+            // field, so the closure stays `Send` under disjoint capture.
+            let scope_ptr = scope_ptr;
+            let scope_ref: &Scope<'env> = unsafe { &*scope_ptr.0 };
+            let result = catch_unwind(AssertUnwindSafe(|| f(scope_ref)));
+            let _ = tx.send(result);
+        });
+        // SAFETY: `scope()` joins every spawned thread before it returns,
+        // so the closure (and everything it borrows from `'env`) outlives
+        // the thread despite the erased lifetime.
+        let closure: Box<dyn FnOnce() + Send + 'static> =
+            unsafe { std::mem::transmute(closure) };
+        let handle = thread::spawn(closure);
+        self.handles.lock().expect("scope handle list").push(handle);
+        ScopedJoinHandle {
+            rx,
+            _scope: PhantomData,
+        }
+    }
+}
+
+/// Create a scope for spawning threads that borrow from the environment.
+/// All spawned threads are joined before `scope` returns. Returns `Err`
+/// only if the closure `f` itself panics (worker panics are reported via
+/// the individual `join` results), matching how this workspace uses the
+/// upstream API.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        handles: Mutex::new(Vec::new()),
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Join everything regardless of how `f` exited; required for the
+    // lifetime erasure in `spawn` to be sound.
+    loop {
+        let drained: Vec<_> = {
+            let mut guard = scope.handles.lock().expect("scope handle list");
+            std::mem::take(&mut *guard)
+        };
+        if drained.is_empty() {
+            break;
+        }
+        for h in drained {
+            // Worker panics were captured by catch_unwind inside the
+            // worker; the raw thread should never panic.
+            let _ = h.join();
+        }
+    }
+    match result {
+        Ok(r) => Ok(r),
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn borrows_and_joins() {
+        let data: Vec<u64> = (0..1000).collect();
+        let counter = AtomicUsize::new(0);
+        let total = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let data = &data;
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        data.iter().skip(t).step_by(4).sum::<u64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 1000 * 999 / 2);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_via_join() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

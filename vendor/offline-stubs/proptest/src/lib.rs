@@ -1,0 +1,556 @@
+//! Offline stand-in for `proptest`. Implements the subset the workspace
+//! uses — `proptest!` with optional `#![proptest_config(..)]`,
+//! `prop_assert*`, `any`, `Just`, ranges and tuples as strategies,
+//! `prop_map`, `prop::collection::vec`, `prop::sample::{select, Index}` —
+//! over a seeded deterministic RNG. No shrinking: a failing case reports
+//! its case number and message and the fixed per-test seed makes it
+//! reproducible by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed `prop_assert*` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of values; the stub's analogue of proptest's `Strategy`
+/// (generation only, no shrink trees).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a second strategy from each generated value.
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns true (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> O::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive (via raw RNG words).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector with length drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Arbitrary, Strategy, StdRng};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniform choice from `options` (must be non-empty).
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// A deferred index: a random fraction scaled to a collection length
+    /// at use time via [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `[0, len)`; panics if `len == 0` like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    /// Whole-domain strategy for [`Index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut StdRng) -> Index {
+            Index(rand::RngCore::next_u64(rng))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyIndex
+        }
+    }
+}
+
+/// Seed derivation for a property: FNV-1a over the test name, so each
+/// property walks its own deterministic sequence.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __run_proptest<F>(cfg: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(name_seed(name));
+    for case in 0..cfg.cases {
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property '{name}' failed at case {}/{}: {e}",
+                case + 1,
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Define property tests; supports an optional leading
+/// `#![proptest_config(..)]` and any number of `#[test] fn` items whose
+/// arguments are drawn from strategies with `pat in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__run_proptest($cfg, stringify!($name), |__rng| {
+                let ($($arg,)+) =
+                    $crate::Strategy::generate(&($($strat,)+), __rng);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Discard a case whose precondition fails. Without shrink/reject
+/// machinery the stub simply skips the rest of the body (the case counts
+/// toward the total, matching proptest's "rejected cases still consume
+/// the budget" behaviour closely enough for these suites).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 1u32..=4, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(
+            (prop::sample::select(vec![2u64, 4, 8]), any::<prop::sample::Index>()),
+            0..9,
+        )) {
+            prop_assert!(v.len() < 9);
+            for (p, idx) in v {
+                prop_assert!(p.is_power_of_two());
+                prop_assert!(idx.index(5) < 5);
+            }
+        }
+
+        #[test]
+        fn mapped(v in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 200, "v was {}", v);
+        }
+    }
+}

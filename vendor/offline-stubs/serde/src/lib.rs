@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (for API parity with upstream ePVF/LLFI
+//! tooling); nothing ever drives a serializer, so the traits are empty
+//! markers and the derives (from the sibling `serde_derive` stub) expand
+//! to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

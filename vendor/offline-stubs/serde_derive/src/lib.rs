@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`. The workspace derives
+//! `Serialize`/`Deserialize` on IR types for API parity with the upstream
+//! repos it mirrors, but never calls a serializer (all JSON is hand
+//! rolled in `epvf-telemetry`), so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
