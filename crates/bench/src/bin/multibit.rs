@@ -1,66 +1,37 @@
 //! §II-E extension: single- vs double- vs byte-burst bit flips. The paper
 //! cites prior work finding the difference between single- and multi-bit
 //! flips "marginal in terms of their impact on SDCs" — this harness checks
-//! that claim directly on the suite.
+//! that claim directly on the suite, driving each width through the
+//! pluggable [`epvf_core::FaultModel`] layer (`bitflip`, `burst:2`,
+//! `burst:8`) so the bench exercises the same lowering path campaigns and
+//! the oracle use.
 
 use epvf_bench::{analyze_workload, pct, print_table, HarnessOpts};
-use epvf_interp::{ExecConfig, FaultTarget, Interpreter, MultiBitSpec, Outcome};
+use epvf_core::parse_fault_model;
+use epvf_llfi::Campaign;
 use epvf_workloads::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let mut rows = Vec::new();
     for w in opts.workloads() {
         let a = analyze_workload(&w);
-        let golden = a.golden();
-        let hang_budget = golden.dyn_insts * 10 + 10_000;
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        // For each fault width, inject at the same sites for comparability.
-        let sites: Vec<_> = (0..opts.runs)
-            .map(|_| a.campaign.sites().sample(&mut rng))
-            .collect();
-        let interp = Interpreter::new(
-            &w.module,
-            ExecConfig {
-                max_dyn_insts: hang_budget,
-                ..ExecConfig::default()
-            },
-        );
+        // All three models share the register-read site universe, so the
+        // same drawn specs are injected at the same sites for every width.
+        let specs = a.campaign.draw_specs(opts.runs, opts.seed);
         let mut cells = vec![w.name.to_string()];
-        for (label, extra_bits) in [("1 bit", 0usize), ("2 bits", 1), ("byte", 7)] {
-            let mut sdc = 0usize;
-            let mut crash = 0usize;
-            for s in &sites {
-                let mut mask = 1u64 << s.bit;
-                // Additional flips adjacent-ish to the first (burst model).
-                for k in 1..=extra_bits {
-                    mask |= 1u64 << ((u64::from(s.bit) + k as u64) % 64);
-                }
-                let spec = MultiBitSpec {
-                    dyn_idx: s.dyn_idx,
-                    target: FaultTarget::Operand(s.operand_slot),
-                    mask,
-                };
-                let r = interp
-                    .run_injected_multibit(Workload::ENTRY, &w.args, spec)
-                    .expect("runs");
-                match r.outcome {
-                    Outcome::Crashed { .. } => crash += 1,
-                    Outcome::Completed if !r.outputs_match_printed(golden) => {
-                        sdc += 1;
-                    }
-                    _ => {}
-                }
-            }
-            let n = sites.len().max(1);
-            let _ = label;
-            cells.push(format!(
-                "{}/{}",
-                pct(sdc as f64 / n as f64),
-                pct(crash as f64 / n as f64)
-            ));
+        for model_str in ["bitflip", "burst:2", "burst:8"] {
+            let model = parse_fault_model(model_str).expect("shipped model parses");
+            let campaign = Campaign::with_model(
+                &w.module,
+                Workload::ENTRY,
+                &w.args,
+                opts.campaign_config(),
+                model,
+            )
+            .expect("golden run completes");
+            let res = campaign.run_specs(&specs);
+            cells.push(format!("{}/{}", pct(res.sdc_rate()), pct(res.crash_rate())));
         }
         rows.push(cells);
     }

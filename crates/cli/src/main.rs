@@ -20,11 +20,13 @@
 //! file (as produced by `epvf dump`); file targets run their `main`
 //! function with no arguments.
 
-use epvf_core::{analyze, per_instruction_scores, AceConfig, EpvfConfig};
+use epvf_core::{
+    analyze, parse_fault_model, per_instruction_scores, AceConfig, EpvfConfig, FaultModel,
+};
 use epvf_interp::{ExecConfig, Interpreter};
 use epvf_ir::{parse_module, Module};
 use epvf_llfi::{
-    precision_study, recall_study, wal_fingerprint, wal_fingerprint_adaptive, Campaign,
+    precision_study, recall_study, wal_fingerprint_adaptive_model, wal_fingerprint_model, Campaign,
     CampaignConfig, RunSession, SamplerConfig, WalError, WalSink,
 };
 use epvf_oracle::{
@@ -276,6 +278,11 @@ usage: epvf <command> [args]
                                default 0.02)
     --pilot N                  pilot draws per stratum (default 16)
     --batch N                  max runs allocated per round (default 256)
+    --fault-model M            fault model: bitflip (default), burst[:N]
+                               (N adjacent flips, default 2), skip
+                               (instruction skip), wrong-branch,
+                               store-addr, ecc[:W] (SEC-DED memory word,
+                               report window W dyn insts, default 100)
   oracle <target>              exhaustive bit-flip oracle vs crash model
     --workload NAME            alternative way to name the target
     --limit N                  subsample the sweep to ~N runs (0 = all)
@@ -286,6 +293,8 @@ usage: epvf <command> [args]
                                CI target W and check its estimates
                                bracket the exhaustive truth (exit 8 when
                                they don't)
+    --fault-model M            sweep M's injection universe instead of
+                               single-bit flips (models as for inject)
     --ckpt-interval K / --threads T   as for inject
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
   metrics-check <file>...      validate metrics JSON artifacts (schema +
@@ -443,6 +452,8 @@ struct InjectOpts {
     target_ci: f64,
     pilot: usize,
     batch: usize,
+    /// `--fault-model`; `None` means the default single-bit flip.
+    model: Option<std::sync::Arc<dyn FaultModel>>,
 }
 
 fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), CliError> {
@@ -496,6 +507,10 @@ fn parse_inject_opts(rest: &[String]) -> Result<(CampaignConfig, InjectOpts), Cl
             }
             "--wal" => opts.wal = Some(value("--wal")?.into()),
             "--resume" => opts.resume = true,
+            "--fault-model" => {
+                opts.model =
+                    Some(parse_fault_model(value("--fault-model")?).map_err(CliError::usage)?);
+            }
             "--sample" => opts.sample = true,
             "--target-ci" => {
                 opts.sample = true;
@@ -552,8 +567,12 @@ fn bad_arg(what: &str) -> CliError {
 
 fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
     let (config, opts) = parse_inject_opts(rest)?;
-    let campaign =
-        Campaign::new(&t.module, Workload::ENTRY, &t.args, config).map_err(CliError::campaign)?;
+    let model = opts
+        .model
+        .clone()
+        .unwrap_or_else(epvf_core::default_fault_model);
+    let campaign = Campaign::with_model(&t.module, Workload::ENTRY, &t.args, config, model)
+        .map_err(CliError::campaign)?;
     if opts.sample {
         return cmd_inject_sampled(&t, &campaign, &opts);
     }
@@ -569,7 +588,13 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
     // --resume salvages a previous log first and re-runs only what's
     // missing, reproducing byte-identical aggregates.
     let fi = if let Some(wal_path) = &opts.wal {
-        let fp = wal_fingerprint(&t.module.to_string(), Workload::ENTRY, &t.args, &specs);
+        let fp = wal_fingerprint_model(
+            &t.module.to_string(),
+            Workload::ENTRY,
+            &t.args,
+            &specs,
+            &campaign.model().name(),
+        );
         let (sink, recovered) = if opts.resume {
             let (sink, rec) = WalSink::recover(wal_path, fp)?;
             let mut map = std::collections::BTreeMap::new();
@@ -614,6 +639,11 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
         fi.n(),
         opts.seed
     );
+    let model_name = campaign.model().name();
+    let default_model = model_name == epvf_core::DEFAULT_MODEL;
+    if !default_model {
+        println!("model     : {model_name}");
+    }
     println!(
         "outcomes  : crash {:.1}%  SDC {:.1}%  hang {:.1}%  benign {:.1}%",
         100.0 * fi.crash_rate(),
@@ -621,6 +651,12 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
         100.0 * fi.hang_rate(),
         100.0 * fi.benign_rate()
     );
+    // Only printed when nonzero, which keeps the default single-bit
+    // campaign output byte-identical (no detector fires without
+    // protection or an error-reporting fault model).
+    if fi.detected_rate() > 0.0 {
+        println!("detected  : {:.1}%", 100.0 * fi.detected_rate());
+    }
     if fi.unsound_rate() > 0.0 {
         println!(
             "supervised: timed-out {:.1}%  quarantined {:.1}%",
@@ -636,20 +672,25 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
         100.0 * mma,
         100.0 * ae
     );
-    let recall = recall_study(&fi, &res.crash_map);
-    let precision = precision_study(
-        &campaign,
-        &res.crash_map,
-        (opts.runs / 2).max(100),
-        opts.seed,
-    );
-    println!("recall    : {:.1}%", 100.0 * recall.recall());
-    println!("precision : {:.1}%", 100.0 * precision.precision());
-    println!(
-        "crash rate: model {:.1}% vs measured {:.1}%",
-        100.0 * res.metrics.crash_rate_estimate,
-        100.0 * fi.crash_rate()
-    );
+    // The quick single-bit recall/precision estimate only makes sense for
+    // the model whose specs *are* single-bit flips; other models are
+    // scored exactly by `epvf oracle --fault-model`.
+    if default_model {
+        let recall = recall_study(&fi, &res.crash_map);
+        let precision = precision_study(
+            &campaign,
+            &res.crash_map,
+            (opts.runs / 2).max(100),
+            opts.seed,
+        );
+        println!("recall    : {:.1}%", 100.0 * recall.recall());
+        println!("precision : {:.1}%", 100.0 * precision.precision());
+        println!(
+            "crash rate: model {:.1}% vs measured {:.1}%",
+            100.0 * res.metrics.crash_rate_estimate,
+            100.0 * fi.crash_rate()
+        );
+    }
 
     if let Some(dir) = &opts.quarantine_dir {
         if !fi.quarantines.is_empty() {
@@ -697,7 +738,7 @@ fn cmd_inject_sampled(t: &Target, campaign: &Campaign, opts: &InjectOpts) -> Res
     };
 
     let report = if let Some(wal_path) = &opts.wal {
-        let fp = wal_fingerprint_adaptive(
+        let fp = wal_fingerprint_adaptive_model(
             &t.module.to_string(),
             Workload::ENTRY,
             &t.args,
@@ -706,6 +747,7 @@ fn cmd_inject_sampled(t: &Target, campaign: &Campaign, opts: &InjectOpts) -> Res
             cfg.batch,
             cfg.max_runs,
             cfg.seed,
+            &campaign.model().name(),
         );
         let (sink, recovered) = if opts.resume {
             let (sink, rec) = WalSink::recover(wal_path, fp)?;
@@ -735,6 +777,10 @@ fn cmd_inject_sampled(t: &Target, campaign: &Campaign, opts: &InjectOpts) -> Res
     };
 
     println!("target    : {} (sampled, seed {})", t.label, opts.seed);
+    let model_name = campaign.model().name();
+    if model_name != epvf_core::DEFAULT_MODEL {
+        println!("model     : {model_name}");
+    }
     println!(
         "sampling  : {} of {} flips in {} round(s), {:.1}x fewer runs",
         report.executed,
@@ -819,6 +865,7 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
     let mut repro_dir: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut calibrate_ci: Option<f64> = None;
+    let mut model: Option<std::sync::Arc<dyn FaultModel>> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| -> Result<&String, CliError> {
@@ -836,6 +883,9 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
             }
             "--repro-dir" => repro_dir = Some(value("--repro-dir")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
+            "--fault-model" => {
+                model = Some(parse_fault_model(value("--fault-model")?).map_err(CliError::usage)?);
+            }
             "--calibrate" => {
                 let w: f64 = value("--calibrate")?
                     .parse()
@@ -885,8 +935,9 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
     let t = resolve(&target.ok_or(CliError::usage(
         "missing <target> (or --workload NAME / --replay FILE)",
     ))?)?;
-    let campaign =
-        Campaign::new(&t.module, Workload::ENTRY, &t.args, config).map_err(CliError::campaign)?;
+    let model = model.unwrap_or_else(epvf_core::default_fault_model);
+    let campaign = Campaign::with_model(&t.module, Workload::ENTRY, &t.args, config, model)
+        .map_err(CliError::campaign)?;
     let trace = campaign
         .golden()
         .trace
@@ -909,6 +960,10 @@ fn cmd_oracle(rest: &[String]) -> Result<(), CliError> {
             ""
         }
     );
+    let model_name = campaign.model().name();
+    if model_name != epvf_core::DEFAULT_MODEL {
+        println!("model     : {model_name}");
+    }
     println!(
         "outcomes  : crash {crash}  sdc {sdc}  benign {benign}  hang {hang}  detected {detected}"
     );

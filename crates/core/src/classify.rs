@@ -214,30 +214,42 @@ impl fmt::Display for BitBand {
 
 /// Full stratum key of one `(site, bit)` injection: opcode class ×
 /// operand kind × bit band.
+///
+/// The band is optional because not every fault model indexes sites by
+/// bit: instruction-skip and wrong-branch faults have exactly one "point"
+/// per site, and lumping them all into a fake `b0-7` band would collapse
+/// their strata into the bit-flip ones. `band: None` is its own dense
+/// index slot per `(op, operand)` pair, so bandless models still
+/// stratify by opcode class and operand kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteClass {
     /// Opcode class of the consuming instruction.
     pub op: OpClass,
     /// Kind of the flipped operand register.
     pub operand: OperandKind,
-    /// Band of the flipped bit.
-    pub band: BitBand,
+    /// Band of the flipped bit, or `None` for a fault model whose sites
+    /// are not bit-indexed.
+    pub band: Option<BitBand>,
 }
 
 impl SiteClass {
-    /// Dense index over the full `6 × 3 × 4 = 72`-cell key space.
+    /// Dense index over the full `6 × 3 × 5 = 90`-cell key space (four
+    /// bands plus the bandless slot per `(op, operand)` pair).
     pub fn index(self) -> usize {
-        (self.op.index() * OperandKind::ALL.len() + self.operand.index()) * BitBand::ALL.len()
-            + self.band.index()
+        (self.op.index() * OperandKind::ALL.len() + self.operand.index()) * (BitBand::ALL.len() + 1)
+            + self.band.map_or(0, |b| b.index() + 1)
     }
 
     /// Number of distinct keys.
-    pub const COUNT: usize = OpClass::ALL.len() * OperandKind::ALL.len() * BitBand::ALL.len();
+    pub const COUNT: usize = OpClass::ALL.len() * OperandKind::ALL.len() * (BitBand::ALL.len() + 1);
 }
 
 impl fmt::Display for SiteClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}/{}", self.op, self.operand, self.band)
+        match self.band {
+            Some(b) => write!(f, "{}/{}/{}", self.op, self.operand, b),
+            None => write!(f, "{}/{}/-", self.op, self.operand),
+        }
     }
 }
 
@@ -293,7 +305,7 @@ mod tests {
         let mut seen = [false; SiteClass::COUNT];
         for op in OpClass::ALL {
             for operand in OperandKind::ALL {
-                for band in BitBand::ALL {
+                for band in std::iter::once(None).chain(BitBand::ALL.into_iter().map(Some)) {
                     let k = SiteClass { op, operand, band };
                     assert!(k.index() < SiteClass::COUNT);
                     assert!(!seen[k.index()], "duplicate index for {k}");
@@ -302,6 +314,24 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bandless_keys_are_distinct_and_display_with_dash() {
+        let banded = SiteClass {
+            op: OpClass::Mem,
+            operand: OperandKind::Ptr,
+            band: Some(BitBand::B0),
+        };
+        let bandless = SiteClass {
+            op: OpClass::Mem,
+            operand: OperandKind::Ptr,
+            band: None,
+        };
+        assert_ne!(banded.index(), bandless.index());
+        assert!(bandless < banded, "None sorts first, keeping banded order");
+        assert_eq!(bandless.to_string(), "mem/ptr/-");
+        assert_eq!(banded.to_string(), "mem/ptr/b0-7");
     }
 
     #[test]

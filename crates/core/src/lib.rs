@@ -51,6 +51,7 @@ mod census;
 mod classify;
 mod crash_model;
 mod epvf;
+mod fault_model;
 mod per_inst;
 mod propagation;
 mod range;
@@ -60,6 +61,10 @@ pub use census::{bit_census, BitCensus, CensusRow};
 pub use classify::{BitBand, OpClass, OpClassTable, OperandKind, SiteClass};
 pub use crash_model::{check_boundary, CrashModelConfig};
 pub use epvf::{analyze, compute_metrics, trace_use_bits, EpvfConfig, EpvfMetrics, EpvfResult};
+pub use fault_model::{
+    default_fault_model, injectable_operand, parse_fault_model, BurstFlip, EccWord, FaultCtx,
+    FaultModel, InstSkip, SingleBitFlip, StoreAddr, WrongBranch, DEFAULT_ECC_WINDOW, DEFAULT_MODEL,
+};
 pub use per_inst::{cdf, per_instruction_scores, InstScore};
 pub use propagation::{
     operand_range, propagate, propagate_parallel, propagate_scoped, Constraint, CrashMap,

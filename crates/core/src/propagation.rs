@@ -77,6 +77,22 @@ impl CrashMap {
             .is_some_and(|c| bit < c.width as u8 && c.range.flip_crashes(c.value, bit))
     }
 
+    /// [`Self::predicts_crash`] generalized to an arbitrary XOR mask (the
+    /// multi-bit fault models): does `value ^ mask` leave the allowed
+    /// range? Masks reaching outside the location's width predict no
+    /// crash (they never arise from in-universe specs), and a single-bit
+    /// mask gives exactly `predicts_crash` of that bit.
+    pub fn predicts_crash_mask(&self, dyn_idx: u64, slot: usize, mask: u64) -> bool {
+        self.uses.get(&(dyn_idx, slot)).is_some_and(|c| {
+            let width_mask = if c.width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << c.width) - 1
+            };
+            mask != 0 && mask & !width_mask == 0 && !c.range.contains(c.value ^ mask)
+        })
+    }
+
     /// The constraint attached to a DDG node, if any.
     pub fn node_constraint(&self, node: NodeId) -> Option<&Constraint> {
         self.nodes.get(&node)
@@ -886,6 +902,30 @@ mod tests {
         assert!(map.predicts_crash(store.idx, 1, 45));
         // Flipping bit 2 moves within the heap segment: not a crash.
         assert!(!map.predicts_crash(store.idx, 1, 2));
+    }
+
+    #[test]
+    fn mask_prediction_generalizes_single_bit() {
+        let (_m, t, _ddg, _ace, map) = analyzed();
+        let store = t
+            .iter()
+            .find(|r| r.mem.as_ref().is_some_and(|m| m.is_store))
+            .expect("store");
+        // Single-bit masks agree with predicts_crash for every bit.
+        for bit in 0..64u8 {
+            assert_eq!(
+                map.predicts_crash_mask(store.idx, 1, 1u64 << bit),
+                map.predicts_crash(store.idx, 1, bit),
+                "bit {bit}"
+            );
+        }
+        // A burst containing a crashing bit crashes; an in-segment
+        // multi-bit wiggle does not.
+        assert!(map.predicts_crash_mask(store.idx, 1, (1 << 45) | (1 << 46)));
+        assert!(!map.predicts_crash_mask(store.idx, 1, 0b110));
+        // Degenerate masks never predict.
+        assert!(!map.predicts_crash_mask(store.idx, 1, 0));
+        assert!(!map.predicts_crash_mask(u64::MAX, 0, 1));
     }
 
     #[test]

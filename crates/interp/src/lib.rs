@@ -53,8 +53,8 @@ mod outcome;
 mod trace;
 
 pub use machine::{
-    ExecConfig, ExecError, FaultTarget, InjectionSpec, Interpreter, MultiBitSpec, ReplayOutcome,
-    Snapshot, DEADLINE_CHECK_STRIDE,
+    ExecConfig, ExecError, FaultEffect, FaultTarget, InjectionSpec, Interpreter, MachineFault,
+    MultiBitSpec, ReplayOutcome, Snapshot, DEADLINE_CHECK_STRIDE,
 };
 pub use outcome::{CrashKind, Outcome, RunResult, TimeoutKind};
 pub use trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};

@@ -155,6 +155,82 @@ impl From<InjectionSpec> for MultiBitSpec {
     }
 }
 
+/// The machine-level effect of one lowered fault. `FaultModel`s (in
+/// `epvf-core`) enumerate abstract `(dyn, slot, bit)` specs and lower each
+/// to one of these; the interpreter applies the effect at `dyn_idx` and
+/// knows nothing about models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// XOR `mask` into the operand read in `slot` — the paper's transient
+    /// source-register fault (generalized to multi-bit masks).
+    OperandXor {
+        /// Source-operand slot (order = `Op::operands`).
+        slot: usize,
+        /// XOR pattern applied to the read.
+        mask: u64,
+    },
+    /// XOR `mask` into the instruction's result as it is written — LLFI's
+    /// destination-register model. Persists for every later use.
+    ResultXor {
+        /// XOR pattern applied to the defined value.
+        mask: u64,
+    },
+    /// Retire the target instruction as a no-op: no result is written (the
+    /// destination register keeps its stale value), no side effect runs. A
+    /// control-flow instruction cannot be skipped; the interpreter executes
+    /// it normally (the fault does not fire).
+    SkipInst,
+    /// Invert the taken/not-taken decision of a conditional branch (or a
+    /// conditional detector). On any other opcode the fault does not fire.
+    FlipBranch,
+    /// XOR `mask` into the *address* operand of a load or store after it is
+    /// read, before the access — store-address corruption. On non-memory
+    /// opcodes the fault does not fire.
+    AddrXor {
+        /// XOR pattern applied to the effective address.
+        mask: u64,
+    },
+    /// Flip `mask` in the word written by the target store *after* it lands
+    /// in memory — an at-rest ECC strike. SEC-DED semantics decide the
+    /// outcome at consumption; an error unconsumed for `window` dynamic
+    /// instructions is scrubbed and classified masked (delayed reporting).
+    EccFlip {
+        /// XOR pattern of the strike (1 bit = correctable, ≥2 = detected).
+        mask: u64,
+        /// Scrub-window length in dynamic instructions.
+        window: u64,
+    },
+}
+
+/// A fully lowered fault: one [`FaultEffect`] fired at one dynamic
+/// instruction. This is what the injection entry points actually execute;
+/// [`InjectionSpec`] and [`MultiBitSpec`] convert into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineFault {
+    /// Dynamic index of the target instruction (0-based trace position).
+    pub dyn_idx: u64,
+    /// What happens there.
+    pub effect: FaultEffect,
+}
+
+impl From<MultiBitSpec> for MachineFault {
+    fn from(s: MultiBitSpec) -> Self {
+        MachineFault {
+            dyn_idx: s.dyn_idx,
+            effect: match s.target {
+                FaultTarget::Operand(slot) => FaultEffect::OperandXor { slot, mask: s.mask },
+                FaultTarget::Result => FaultEffect::ResultXor { mask: s.mask },
+            },
+        }
+    }
+}
+
+impl From<InjectionSpec> for MachineFault {
+    fn from(s: InjectionSpec) -> Self {
+        MultiBitSpec::from(s).into()
+    }
+}
+
 /// Setup errors — misuse of the interpreter API, not simulated faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
@@ -281,8 +357,16 @@ impl<'m> Interpreter<'m> {
     /// the injection point (`snapshot.dyn_count() <= spec.dyn_idx`);
     /// otherwise the fault can never fire.
     pub fn run_injected_from(&self, snapshot: &Snapshot, spec: InjectionSpec) -> RunResult {
+        self.run_fault_from(snapshot, spec.into())
+    }
+
+    /// Resume from `snapshot` with a lowered [`MachineFault`] injected,
+    /// replaying only the suffix. The caller must pick a snapshot taken at
+    /// or before the injection point (`snapshot.dyn_count() <=
+    /// fault.dyn_idx`); otherwise the fault can never fire.
+    pub fn run_fault_from(&self, snapshot: &Snapshot, fault: MachineFault) -> RunResult {
         let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
-        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
+        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(fault));
         exec.run_resumed_to_result()
     }
 
@@ -299,12 +383,25 @@ impl<'m> Interpreter<'m> {
         spec: InjectionSpec,
         rendezvous: &[Snapshot],
     ) -> ReplayOutcome {
+        self.replay_fault_from(snapshot, spec.into(), rendezvous)
+    }
+
+    /// Like [`Self::replay_injected_from`], for an arbitrary lowered
+    /// [`MachineFault`]. Rendezvous is armed strictly after the injection
+    /// point; faults with lingering state (a pending ECC error) cannot
+    /// rejoin early because [`Snapshot`] comparison includes memory.
+    pub fn replay_fault_from(
+        &self,
+        snapshot: &Snapshot,
+        fault: MachineFault,
+        rendezvous: &[Snapshot],
+    ) -> ReplayOutcome {
         let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
-        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(spec.into()));
+        let mut exec = Exec::resume(self.module, self.config, snapshot, Some(fault));
         exec.rendezvous = Some(Rendezvous {
             snaps: rendezvous,
             next: 0,
-            armed_after: spec.dyn_idx,
+            armed_after: fault.dyn_idx,
         });
         match exec.exec_loop() {
             End::Outcome(outcome) => ReplayOutcome::Finished(exec.take_result(outcome)),
@@ -339,16 +436,31 @@ impl<'m> Interpreter<'m> {
         args: &[u64],
         spec: MultiBitSpec,
     ) -> Result<RunResult, ExecError> {
-        self.run_inner(entry, args, Some(spec))
+        self.run_inner(entry, args, Some(spec.into()))
+    }
+
+    /// Run with an arbitrary lowered [`MachineFault`] injected — the entry
+    /// point pluggable fault models funnel into.
+    ///
+    /// # Errors
+    /// [`ExecError`] on unknown entry or arity mismatch.
+    pub fn run_fault(
+        &self,
+        entry: &str,
+        args: &[u64],
+        fault: MachineFault,
+    ) -> Result<RunResult, ExecError> {
+        let _span = epvf_telemetry::span(Tmr::InterpInjectedRun);
+        self.run_inner(entry, args, Some(fault))
     }
 
     fn run_inner(
         &self,
         entry: &str,
         args: &[u64],
-        spec: Option<MultiBitSpec>,
+        fault: Option<MachineFault>,
     ) -> Result<RunResult, ExecError> {
-        Exec::new(self.module, self.config, spec).run(entry, args)
+        Exec::new(self.module, self.config, fault).run(entry, args)
     }
 }
 
@@ -436,7 +548,10 @@ struct Exec<'m, 'r> {
     trace: Trace,
     dyn_count: u64,
     next_dyn: u64,
-    injection: Option<MultiBitSpec>,
+    injection: Option<MachineFault>,
+    /// Pending at-rest ECC error planted by a fired `EccFlip`, resolved by
+    /// consumption, overwrite, or scrub-window expiry.
+    ecc: Option<epvf_memsim::EccError>,
     global_addrs: Vec<u64>,
     /// Cache of the last map snapshot, keyed by `SimMemory::map_version`, so
     /// traced loads/stores under an unchanged map share one `Arc` instead of
@@ -478,7 +593,7 @@ enum Flow {
 }
 
 impl<'m, 'r> Exec<'m, 'r> {
-    fn new(module: &'m Module, config: ExecConfig, injection: Option<MultiBitSpec>) -> Self {
+    fn new(module: &'m Module, config: ExecConfig, injection: Option<MachineFault>) -> Self {
         Exec {
             module,
             config,
@@ -490,6 +605,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             dyn_count: 0,
             next_dyn: 0,
             injection,
+            ecc: None,
             global_addrs: Vec::new(),
             map_cache: None,
             ckpt: None,
@@ -511,7 +627,7 @@ impl<'m, 'r> Exec<'m, 'r> {
         module: &'m Module,
         mut config: ExecConfig,
         snap: &Snapshot,
-        injection: Option<MultiBitSpec>,
+        injection: Option<MachineFault>,
     ) -> Self {
         config.record_trace = false;
         Exec {
@@ -525,6 +641,7 @@ impl<'m, 'r> Exec<'m, 'r> {
             dyn_count: snap.dyn_count,
             next_dyn: snap.next_dyn,
             injection,
+            ecc: None,
             global_addrs: snap.global_addrs.clone(),
             map_cache: None,
             ckpt: None,
@@ -648,6 +765,11 @@ impl<'m, 'r> Exec<'m, 'r> {
         epvf_telemetry::add(Ctr::MemFaultChecks, mem.fault_checks);
         epvf_telemetry::add(Ctr::MemCowPageCopies, mem.cow_page_copies);
         epvf_telemetry::add(Ctr::MemPagesMaterialized, mem.pages_materialized);
+        if self.ecc.take().is_some() {
+            // The run terminated with the ECC error still pending: nothing
+            // ever consumed it, so delayed reporting files it as expired.
+            epvf_telemetry::add(Ctr::MemEccExpired, 1);
+        }
     }
 
     fn take_result(&mut self, outcome: Outcome) -> RunResult {
@@ -743,9 +865,26 @@ impl<'m, 'r> Exec<'m, 'r> {
             || self.config.poison_at.is_some()
     }
 
+    /// Scrub the pending ECC error if its delayed-reporting window has
+    /// closed: restore the golden word in place and retire the error as
+    /// expired (masked). Runs at instruction-boundary loop tops.
+    fn ecc_scrub_check(&mut self) {
+        if let Some(e) = self.ecc {
+            if e.expired(self.dyn_count) {
+                let (bytes, n) = e.golden_bytes();
+                self.mem.write_bytes_raw(e.addr, &bytes[..n]);
+                self.ecc = None;
+                epvf_telemetry::add(Ctr::MemEccExpired, 1);
+            }
+        }
+    }
+
     fn exec_loop(&mut self) -> End {
         let armed = self.watchdog_armed();
         loop {
+            if self.ecc.is_some() {
+                self.ecc_scrub_check();
+            }
             if self.ckpt.is_some() {
                 self.maybe_checkpoint();
             }
@@ -863,12 +1002,14 @@ impl<'m, 'r> Exec<'m, 'r> {
         // Commit after all reads (parallel-assignment semantics).
         let n = staged.len();
         for (i, (reg, mut bits, _inst, _taken)) in staged.into_iter().enumerate() {
-            if let Some(spec) = self.injection {
+            if let Some(f) = self.injection {
                 let this_dyn = self.dyn_count - n as u64 + i as u64;
-                if spec.target == FaultTarget::Result && spec.dyn_idx == this_dyn {
-                    let frame = self.frames.last().expect("frame exists");
-                    let ty = self.module.functions[frame.func.index()].value_types[reg.index()];
-                    bits = ty.truncate_payload(bits ^ spec.mask);
+                if let FaultEffect::ResultXor { mask } = f.effect {
+                    if f.dyn_idx == this_dyn {
+                        let frame = self.frames.last().expect("frame exists");
+                        let ty = self.module.functions[frame.func.index()].value_types[reg.index()];
+                        bits = ty.truncate_payload(bits ^ mask);
+                    }
                 }
             }
             let id = self.fresh_dyn();
@@ -894,12 +1035,79 @@ impl<'m, 'r> Exec<'m, 'r> {
             Value::ConstInt { bits, .. } | Value::ConstFloat { bits, .. } => (bits, None),
             Value::Global(g) => (self.global_addrs[g.index()], None),
         };
-        if let Some(spec) = self.injection {
-            if spec.dyn_idx == dyn_idx && spec.target == FaultTarget::Operand(slot) {
-                bits ^= spec.mask;
+        if let Some(f) = self.injection {
+            if let FaultEffect::OperandXor { slot: s, mask } = f.effect {
+                if f.dyn_idx == dyn_idx && s == slot {
+                    bits ^= mask;
+                }
             }
         }
         (bits, src)
+    }
+
+    /// Whether the injected fault is `effect`-shaped and targets `dyn_idx`.
+    /// The XOR mask variants carry their payload out via pattern matching at
+    /// the call site; this helper serves the payload-free checks.
+    fn fault_at(&self, dyn_idx: u64) -> Option<FaultEffect> {
+        self.injection
+            .filter(|f| f.dyn_idx == dyn_idx)
+            .map(|f| f.effect)
+    }
+
+    /// SEC-DED consumption check for an access touching the pending ECC
+    /// word. A full-cover store rewrites data and check bits, clearing the
+    /// error unconsumed; any other touch (a read, or a partial-word store's
+    /// read-modify-write) consumes it — correcting in place when the strike
+    /// is single-bit, raising a detected-uncorrectable error otherwise.
+    fn ecc_touch(&mut self, addr: u64, size: u64, is_store: bool) -> Option<Outcome> {
+        let e = self.ecc?;
+        if !e.overlaps(addr, size) {
+            return None;
+        }
+        self.ecc = None;
+        if is_store && e.covers(addr, size) {
+            epvf_telemetry::add(Ctr::MemEccOverwritten, 1);
+            return None;
+        }
+        match e.on_consume() {
+            epvf_memsim::EccEvent::Corrected => {
+                let (bytes, n) = e.golden_bytes();
+                self.mem.write_bytes_raw(e.addr, &bytes[..n]);
+                epvf_telemetry::add(Ctr::MemEccCorrected, 1);
+                None
+            }
+            _ => {
+                epvf_telemetry::add(Ctr::MemEccDetected, 1);
+                Some(Outcome::Detected)
+            }
+        }
+    }
+
+    /// Plant an at-rest ECC strike in the word a store just wrote: flip
+    /// `mask` (pre-masked to the word width) in memory behind the
+    /// register file's back and arm the scrub window. The strike lands
+    /// after the store retires; the scrubber visits once `window` further
+    /// dynamic instructions have retired.
+    fn ecc_plant(&mut self, addr: u64, size: u64, golden: u64, mask: u64, window: u64) {
+        let wmask = if size >= 8 {
+            u64::MAX
+        } else {
+            (1u64 << (size * 8)) - 1
+        };
+        let mask = mask & wmask;
+        if mask == 0 {
+            return; // the strike missed every stored bit
+        }
+        let corrupt = (golden ^ mask).to_le_bytes();
+        self.mem.write_bytes_raw(addr, &corrupt[..size as usize]);
+        self.ecc = Some(epvf_memsim::EccError {
+            addr,
+            size,
+            golden,
+            mask,
+            deadline: self.dyn_count.saturating_add(window),
+        });
+        epvf_telemetry::add(Ctr::MemEccRaised, 1);
     }
 
     #[allow(clippy::too_many_lines)]
@@ -907,6 +1115,25 @@ impl<'m, 'r> Exec<'m, 'r> {
         let dyn_idx = self.dyn_count;
         self.dyn_count += 1;
         let func_id = self.frames.last().expect("frame exists").func;
+
+        // An instruction-skip fault retires the target as a no-op: operands
+        // are never read, no side effect runs, and the destination register
+        // keeps its stale value. Terminators cannot be skipped (the block
+        // must still transfer control), so there the fault does not fire.
+        if matches!(self.fault_at(dyn_idx), Some(FaultEffect::SkipInst)) && !inst.op.is_terminator()
+        {
+            if self.config.record_trace {
+                self.trace.records.push(DynInst {
+                    idx: dyn_idx,
+                    sid: inst.sid,
+                    func: func_id,
+                    result: None,
+                    operands: Vec::new(),
+                    mem: None,
+                });
+            }
+            return Flow::Next;
+        }
 
         // Operand reads (slot order = Op::operands()).
         let mut rec_ops: Vec<OperandRec> = Vec::new();
@@ -995,53 +1222,82 @@ impl<'m, 'r> Exec<'m, 'r> {
             }
             Op::Phi { .. } => unreachable!("phis are executed by exec_phis"),
             Op::Load { ty, addr } => {
-                let (ap, _) = read!(0, *addr);
+                let (mut ap, _) = read!(0, *addr);
+                if let Some(FaultEffect::AddrXor { mask }) = self.fault_at(dyn_idx) {
+                    ap ^= mask;
+                }
                 let sp = self.frames.last().expect("frame exists").sp;
                 let size = ty.bytes();
                 self.loads += 1;
-                match self.mem.read(ap, size, sp) {
-                    Ok(v) => {
-                        if tracing {
-                            mem_rec = Some(MemAccessRec {
-                                addr: ap,
-                                size,
-                                is_store: false,
-                                sp,
-                                map: self.map_snapshot(),
-                            });
+                let ecc_stop = self
+                    .ecc
+                    .is_some()
+                    .then(|| self.ecc_touch(ap, size, false))
+                    .flatten();
+                if let Some(o) = ecc_stop {
+                    Flow::Stop(o)
+                } else {
+                    match self.mem.read(ap, size, sp) {
+                        Ok(v) => {
+                            if tracing {
+                                mem_rec = Some(MemAccessRec {
+                                    addr: ap,
+                                    size,
+                                    is_store: false,
+                                    sp,
+                                    map: self.map_snapshot(),
+                                });
+                            }
+                            result = Some(self.define(inst, v));
+                            Flow::Next
                         }
-                        result = Some(self.define(inst, v));
-                        Flow::Next
+                        Err(e) => Flow::Stop(Outcome::Crashed {
+                            kind: e.into(),
+                            at_dyn: dyn_idx,
+                        }),
                     }
-                    Err(e) => Flow::Stop(Outcome::Crashed {
-                        kind: e.into(),
-                        at_dyn: dyn_idx,
-                    }),
                 }
             }
             Op::Store { ty, val, addr } => {
                 let (vv, _) = read!(0, *val);
-                let (ap, _) = read!(1, *addr);
+                let (mut ap, _) = read!(1, *addr);
+                if let Some(FaultEffect::AddrXor { mask }) = self.fault_at(dyn_idx) {
+                    ap ^= mask;
+                }
                 let sp = self.frames.last().expect("frame exists").sp;
                 let size = ty.bytes();
                 self.stores += 1;
-                match self.mem.write(ap, size, ty.truncate_payload(vv), sp) {
-                    Ok(()) => {
-                        if tracing {
-                            mem_rec = Some(MemAccessRec {
-                                addr: ap,
-                                size,
-                                is_store: true,
-                                sp,
-                                map: self.map_snapshot(),
-                            });
+                let ecc_stop = self
+                    .ecc
+                    .is_some()
+                    .then(|| self.ecc_touch(ap, size, true))
+                    .flatten();
+                if let Some(o) = ecc_stop {
+                    Flow::Stop(o)
+                } else {
+                    match self.mem.write(ap, size, ty.truncate_payload(vv), sp) {
+                        Ok(()) => {
+                            if let Some(FaultEffect::EccFlip { mask, window }) =
+                                self.fault_at(dyn_idx)
+                            {
+                                self.ecc_plant(ap, size, ty.truncate_payload(vv), mask, window);
+                            }
+                            if tracing {
+                                mem_rec = Some(MemAccessRec {
+                                    addr: ap,
+                                    size,
+                                    is_store: true,
+                                    sp,
+                                    map: self.map_snapshot(),
+                                });
+                            }
+                            Flow::Next
                         }
-                        Flow::Next
+                        Err(e) => Flow::Stop(Outcome::Crashed {
+                            kind: e.into(),
+                            at_dyn: dyn_idx,
+                        }),
                     }
-                    Err(e) => Flow::Stop(Outcome::Crashed {
-                        kind: e.into(),
-                        at_dyn: dyn_idx,
-                    }),
                 }
             }
             Op::Alloca { size, align } => {
@@ -1134,7 +1390,11 @@ impl<'m, 'r> Exec<'m, 'r> {
                 else_bb,
             } => {
                 let (cv, _) = read!(0, *cond);
-                Flow::Jump(if cv & 1 == 1 {
+                let mut taken = cv & 1 == 1;
+                if matches!(self.fault_at(dyn_idx), Some(FaultEffect::FlipBranch)) {
+                    taken = !taken;
+                }
+                Flow::Jump(if taken {
                     then_bb.index()
                 } else {
                     else_bb.index()
@@ -1156,7 +1416,11 @@ impl<'m, 'r> Exec<'m, 'r> {
             Op::Detect => Flow::Stop(Outcome::Detected),
             Op::DetectIf { cond } => {
                 let (cv, _) = read!(0, *cond);
-                if cv & 1 == 1 {
+                let mut fire = cv & 1 == 1;
+                if matches!(self.fault_at(dyn_idx), Some(FaultEffect::FlipBranch)) {
+                    fire = !fire;
+                }
+                if fire {
                     Flow::Stop(Outcome::Detected)
                 } else {
                     Flow::Next
@@ -1185,10 +1449,12 @@ impl<'m, 'r> Exec<'m, 'r> {
         let frame = self.frames.last().expect("frame exists");
         let ty = self.module.functions[frame.func.index()].value_types[reg.index()];
         let mut bits = ty.truncate_payload(raw);
-        if let Some(spec) = self.injection {
+        if let Some(f) = self.injection {
             // dyn_count was already advanced past this instruction.
-            if spec.target == FaultTarget::Result && spec.dyn_idx + 1 == self.dyn_count {
-                bits = ty.truncate_payload(bits ^ spec.mask);
+            if let FaultEffect::ResultXor { mask } = f.effect {
+                if f.dyn_idx + 1 == self.dyn_count {
+                    bits = ty.truncate_payload(bits ^ mask);
+                }
             }
         }
         let id = self.fresh_dyn();

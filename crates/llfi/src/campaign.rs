@@ -7,6 +7,7 @@
 
 use crate::site::SiteTable;
 use crate::stats::ci95;
+use epvf_core::FaultModel;
 use epvf_interp::{
     CrashKind, ExecConfig, ExecError, InjectionSpec, Interpreter, Outcome, ReplayOutcome,
     RunResult, Snapshot, TimeoutKind,
@@ -18,6 +19,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Classified result of one injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -345,6 +347,9 @@ pub struct Campaign<'m> {
     config: CampaignConfig,
     golden: RunResult,
     sites: SiteTable,
+    /// The fault model whose injection points the campaign samples and
+    /// whose lowering turns drawn specs into machine faults.
+    model: Arc<dyn FaultModel>,
     /// Golden checkpoints in ascending `dyn_count` order (starting at 0),
     /// empty when checkpointing is off.
     ckpts: Vec<Snapshot>,
@@ -364,6 +369,25 @@ impl<'m> Campaign<'m> {
         args: &[u64],
         config: CampaignConfig,
     ) -> Result<Self, CampaignError> {
+        Self::with_model(
+            module,
+            entry,
+            args,
+            config,
+            epvf_core::default_fault_model(),
+        )
+    }
+
+    /// [`Self::new`] with an explicit [`FaultModel`]: sites are enumerated
+    /// by the model and every drawn spec is lowered through it before
+    /// execution. `new` is exactly `with_model(..,` [`default_fault_model`](epvf_core::default_fault_model)`())`.
+    pub fn with_model(
+        module: &'m Module,
+        entry: &str,
+        args: &[u64],
+        config: CampaignConfig,
+        model: Arc<dyn FaultModel>,
+    ) -> Result<Self, CampaignError> {
         let interp = Interpreter::new(module, config.exec);
         let golden = interp.golden_run(entry, args)?;
         if golden.outcome != Outcome::Completed {
@@ -374,7 +398,7 @@ impl<'m> Campaign<'m> {
                 "golden run completed but produced no trace".to_string(),
             ));
         };
-        let sites = SiteTable::from_trace(module, trace);
+        let sites = SiteTable::for_model(&*model, module, trace);
         if sites.is_empty() {
             return Err(CampaignError::NoInjectableSites);
         }
@@ -413,8 +437,14 @@ impl<'m> Campaign<'m> {
             config,
             golden,
             sites,
+            model,
             ckpts,
         })
+    }
+
+    /// The active fault model.
+    pub fn model(&self) -> &dyn FaultModel {
+        &*self.model
     }
 
     /// The golden (fault-free) run, including its trace.
@@ -497,18 +527,26 @@ impl<'m> Campaign<'m> {
     /// panicking.
     pub(crate) fn try_run_spec(&self, spec: InjectionSpec) -> Result<InjOutcome, ExecError> {
         let interp = Interpreter::new(self.module, self.injected_exec());
+        // Lower the abstract spec through the active model. The width lookup
+        // can only miss for specs outside the enumerated universe (e.g. a
+        // stale WAL); 64 keeps the lowering total rather than panicking.
+        let width = self
+            .sites
+            .width_of(spec.dyn_idx, spec.operand_slot)
+            .unwrap_or(64);
+        let fault = self.model.lower(spec, width);
         let idx = self
             .ckpts
             .partition_point(|s| s.dyn_count() <= spec.dyn_idx);
         if idx == 0 {
             // Checkpointing off (or no usable checkpoint): from scratch.
             epvf_telemetry::add(Ctr::CampaignScratchRuns, 1);
-            let res = interp.run_injected(&self.entry, &self.args, spec)?;
+            let res = interp.run_fault(&self.entry, &self.args, fault)?;
             Ok(self.classify(&res))
         } else {
             epvf_telemetry::add(Ctr::CampaignResumedRuns, 1);
             let base = &self.ckpts[idx - 1];
-            match interp.replay_injected_from(base, spec, &self.ckpts[idx..]) {
+            match interp.replay_fault_from(base, fault, &self.ckpts[idx..]) {
                 ReplayOutcome::Finished(res) => Ok(self.classify(&res)),
                 ReplayOutcome::Rejoined { .. } => {
                     epvf_telemetry::add(Ctr::CampaignEarlyBenign, 1);

@@ -62,5 +62,6 @@ pub use site::{injectable_operand, InjectionSite, SiteTable};
 pub use stats::{ci95, clopper_pearson95, clopper_pearson_f, geomean, mean, wilson95_f};
 pub use supervise::RunSession;
 pub use wal::{
-    wal_fingerprint, wal_fingerprint_adaptive, RecoveredWal, WalError, WalSink, WAL_MAGIC,
+    wal_fingerprint, wal_fingerprint_adaptive, wal_fingerprint_adaptive_model,
+    wal_fingerprint_model, RecoveredWal, WalError, WalSink, WAL_MAGIC,
 };

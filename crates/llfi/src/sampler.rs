@@ -615,6 +615,7 @@ mod tests {
     use epvf_core::{BitBand, OpClass, OperandKind};
 
     fn class(op: OpClass, band: BitBand) -> SiteClass {
+        let band = Some(band);
         SiteClass {
             op,
             operand: OperandKind::Int,

@@ -7,47 +7,43 @@
 //! receive proportionally more faults — the same space the analytical
 //! crash-rate estimate integrates over.
 
-use epvf_core::{BitBand, OpClass, OpClassTable, OperandKind, SiteClass};
-use epvf_interp::{DynInst, InjectionSpec, Trace};
-use epvf_ir::{Module, Value};
+use epvf_core::{BitBand, FaultCtx, FaultModel, OpClass, OpClassTable, OperandKind, SiteClass};
+use epvf_interp::{InjectionSpec, Trace};
+use epvf_ir::Module;
 use rand::Rng;
 
-/// Width in bits of the injectable register-operand read at `(rec, slot)`,
-/// or `None` if that operand is not an injection site (constant, global, or
-/// a register without a recorded producer).
-///
-/// This is the single definition of "injectable site". [`SiteTable`] (random
-/// campaigns), the targeted precision study, and the exhaustive oracle all
-/// go through it, so their site universes can never diverge.
-pub fn injectable_operand(module: &Module, rec: &DynInst, slot: usize) -> Option<u32> {
-    let op = rec.operands.get(slot)?;
-    let Value::Reg(r) = op.value else { return None };
-    op.src?;
-    Some(module.functions[rec.func.index()].value_types[r.index()].bits())
-}
+// The single definition of "injectable site" lives in `epvf_core` next to
+// the fault models that reinterpret it; re-exported here for the random
+// campaigns, the targeted precision study, and the exhaustive oracle.
+pub use epvf_core::injectable_operand;
 
-/// One injectable operand read.
+/// One injectable operand read (or, for non-register fault models, one
+/// injection point of the active [`FaultModel`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionSite {
     /// Dynamic instruction index.
     pub dyn_idx: u64,
     /// Operand slot within the instruction.
     pub slot: usize,
-    /// Register width in bits.
+    /// Number of injection points at this site (register width in bits for
+    /// bit-indexed models).
     pub width: u32,
     /// Opcode class of the consuming instruction (stratification key).
     pub op_class: OpClass,
     /// Kind of the operand register (stratification key).
     pub operand_kind: OperandKind,
+    /// Whether the point index is a bit position (bit-indexed models
+    /// stratify on its [`BitBand`]; others get a bandless stratum).
+    pub banded: bool,
 }
 
 impl InjectionSite {
-    /// Full stratum key of flipping `bit` at this site.
+    /// Full stratum key of injecting point `bit` at this site.
     pub fn class_of_bit(&self, bit: u8) -> SiteClass {
         SiteClass {
             op: self.op_class,
             operand: self.operand_kind,
-            band: BitBand::of(bit),
+            band: self.banded.then(|| BitBand::of(bit)),
         }
     }
 }
@@ -62,34 +58,55 @@ pub struct SiteTable {
 }
 
 impl SiteTable {
-    /// Enumerate every register-operand read in the trace.
+    /// Enumerate every register-operand read in the trace — the paper's
+    /// default single-bit-flip universe.
     pub fn from_trace(module: &Module, trace: &Trace) -> Self {
+        Self::for_model(&epvf_core::SingleBitFlip, module, trace)
+    }
+
+    /// Enumerate the injection points of `model` over the trace. Each
+    /// dynamic record is probed at every operand slot (plus slot 0 for
+    /// operand-less instructions, so whole-instruction models can claim
+    /// them); the model decides which pairs are sites and how many points
+    /// each contributes.
+    pub fn for_model(model: &dyn FaultModel, module: &Module, trace: &Trace) -> Self {
         let classes = OpClassTable::new(module);
+        let ctx = FaultCtx::new(module);
+        let banded = model.bit_indexed();
         let mut sites = Vec::new();
         let mut cum = Vec::new();
         let mut total = 0u64;
         for rec in trace {
-            for slot in 0..rec.operands.len() {
-                let Some(width) = injectable_operand(module, rec, slot) else {
+            for slot in 0..rec.operands.len().max(1) {
+                let Some(width) = model.points(&ctx, module, rec, slot) else {
                     continue;
                 };
-                // `injectable_operand` proved the operand is a register.
-                let Value::Reg(r) = rec.operands[slot].value else {
-                    unreachable!("injectable operand is a register")
-                };
-                let ty = module.functions[rec.func.index()].value_types[r.index()];
                 total += u64::from(width);
                 sites.push(InjectionSite {
                     dyn_idx: rec.idx,
                     slot,
                     width,
                     op_class: classes.class_of(rec.sid),
-                    operand_kind: OperandKind::of(ty),
+                    operand_kind: model.operand_kind(module, rec, slot),
+                    banded,
                 });
                 cum.push(total);
             }
         }
         SiteTable { sites, cum }
+    }
+
+    /// Point count (width) of the site at `(dyn_idx, slot)`, if it is in
+    /// the table. Sites are in trace order with slots ascending, so this is
+    /// a binary search.
+    pub fn width_of(&self, dyn_idx: u64, slot: usize) -> Option<u32> {
+        let i = self
+            .sites
+            .partition_point(|s| (s.dyn_idx, s.slot) < (dyn_idx, slot));
+        self.sites
+            .get(i)
+            .filter(|s| s.dyn_idx == dyn_idx && s.slot == slot)
+            .map(|s| s.width)
     }
 
     /// Number of sites.
@@ -149,7 +166,7 @@ impl SiteTable {
 mod tests {
     use super::*;
     use epvf_interp::{ExecConfig, Interpreter};
-    use epvf_ir::{ModuleBuilder, Type};
+    use epvf_ir::{ModuleBuilder, Type, Value};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -228,10 +245,20 @@ mod tests {
             assert!(matches!(s.op_class, OpClass::Int | OpClass::Data));
             let k = s.class_of_bit(3);
             assert_eq!(k.op, s.op_class);
-            assert_eq!(k.band, epvf_core::BitBand::of(3));
+            assert_eq!(k.band, Some(epvf_core::BitBand::of(3)));
         }
         assert!(t.sites().iter().any(|s| s.op_class == OpClass::Int));
         assert!(t.sites().iter().any(|s| s.op_class == OpClass::Data));
+    }
+
+    #[test]
+    fn width_of_finds_sites_by_coordinates() {
+        let t = table();
+        for s in t.sites() {
+            assert_eq!(t.width_of(s.dyn_idx, s.slot), Some(s.width));
+        }
+        assert_eq!(t.width_of(u64::MAX, 0), None);
+        assert_eq!(t.width_of(0, 0), None, "dyn 0 reads constants only");
     }
 
     #[test]

@@ -91,6 +91,35 @@ pub fn wal_fingerprint(
     h.0
 }
 
+/// [`wal_fingerprint`] for a campaign under a named fault model. For the
+/// default model ([`epvf_core::DEFAULT_MODEL`]) this is **byte-identical**
+/// to `wal_fingerprint` — existing single-bit-flip WALs stay resumable.
+/// Any other model appends a `0xfc` domain separator plus the canonical
+/// model name, so the same spec coordinates under different models can
+/// never cross-resume.
+pub fn wal_fingerprint_model(
+    module_text: &str,
+    entry: &str,
+    args: &[u64],
+    specs: &[InjectionSpec],
+    model_name: &str,
+) -> u64 {
+    let base = wal_fingerprint(module_text, entry, args, specs);
+    model_domain(base, model_name)
+}
+
+/// Mix a non-default model name into a fingerprint (identity for the
+/// default model).
+fn model_domain(base: u64, model_name: &str) -> u64 {
+    if model_name == epvf_core::DEFAULT_MODEL {
+        return base;
+    }
+    let mut h = Fnv64(base);
+    h.update(&[0xfc]);
+    h.update(model_name.as_bytes());
+    h.0
+}
+
 /// Fingerprint of one *adaptive* campaign invocation. An adaptive
 /// campaign's spec list is not known upfront (each round's allocation
 /// depends on earlier outcomes), but it **is** a pure function of the
@@ -125,6 +154,34 @@ pub fn wal_fingerprint_adaptive(
     h.update(&(max_runs as u64).to_le_bytes());
     h.update(&seed.to_le_bytes());
     h.0
+}
+
+/// [`wal_fingerprint_adaptive`] under a named fault model — same
+/// default-model identity and `0xfc` domain separation as
+/// [`wal_fingerprint_model`].
+#[allow(clippy::too_many_arguments)]
+pub fn wal_fingerprint_adaptive_model(
+    module_text: &str,
+    entry: &str,
+    args: &[u64],
+    target_ci: f64,
+    pilot: usize,
+    batch: usize,
+    max_runs: usize,
+    seed: u64,
+    model_name: &str,
+) -> u64 {
+    let base = wal_fingerprint_adaptive(
+        module_text,
+        entry,
+        args,
+        target_ci,
+        pilot,
+        batch,
+        max_runs,
+        seed,
+    );
+    model_domain(base, model_name)
 }
 
 /// Why a WAL could not be opened or recovered.
@@ -639,6 +696,41 @@ mod tests {
         let (_sink, rec) = WalSink::recover(&p, 9).unwrap();
         assert_eq!(rec.outcomes.len(), 2);
         assert_eq!(rec.outcomes[&1].1, InjOutcome::Detected);
+    }
+
+    #[test]
+    fn model_fingerprint_is_identity_for_default_and_disjoint_otherwise() {
+        let specs = [spec(1, 0, 0)];
+        let base = wal_fingerprint("m", "main", &[4], &specs);
+        assert_eq!(
+            wal_fingerprint_model("m", "main", &[4], &specs, epvf_core::DEFAULT_MODEL),
+            base,
+            "default-model WALs must stay byte-compatible"
+        );
+        let burst = wal_fingerprint_model("m", "main", &[4], &specs, "burst:2");
+        let ecc = wal_fingerprint_model("m", "main", &[4], &specs, "ecc:100");
+        assert_ne!(burst, base);
+        assert_ne!(ecc, base);
+        assert_ne!(burst, ecc);
+        let abase = wal_fingerprint_adaptive("m", "main", &[4], 0.05, 10, 10, 100, 7);
+        assert_eq!(
+            wal_fingerprint_adaptive_model(
+                "m",
+                "main",
+                &[4],
+                0.05,
+                10,
+                10,
+                100,
+                7,
+                epvf_core::DEFAULT_MODEL
+            ),
+            abase
+        );
+        assert_ne!(
+            wal_fingerprint_adaptive_model("m", "main", &[4], 0.05, 10, 10, 100, 7, "skip"),
+            abase
+        );
     }
 
     #[test]

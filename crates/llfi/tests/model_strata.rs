@@ -1,0 +1,122 @@
+//! Regression test for model-aware sampler stratification (ISSUE 7
+//! satellite 4): the stratum key's bit band is optional, so bandless fault
+//! models (skip, wrong-branch) no longer collapse into bogus bit-band
+//! strata — each model partitions its own universe, and the partitions
+//! genuinely differ across models.
+
+use epvf_core::{parse_fault_model, SiteClass};
+use epvf_ir::{IcmpPred, Module, ModuleBuilder, Type, Value};
+use epvf_llfi::{AdaptiveSampler, Campaign, CampaignConfig, SamplerConfig};
+use std::collections::BTreeSet;
+
+/// Loop kernel with arithmetic, a conditional, and a store/load pair —
+/// enough opcode-class variety that every model finds sites.
+fn kernel_module() -> Module {
+    let mut mb = ModuleBuilder::new("k");
+    let mut f = mb.function("main", vec![Type::I32], None);
+    let n = f.param(0);
+    let bytes = f.zext(Type::I32, Type::I64, n);
+    let size = f.mul(Type::I64, bytes, Value::i64(4));
+    let arr = f.malloc(size);
+    let entry = f.current_block();
+    let header = f.create_block("h");
+    let body = f.create_block("b");
+    let exit = f.create_block("e");
+    f.br(header);
+    f.switch_to(header);
+    let i = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+    let c = f.icmp(IcmpPred::Slt, Type::I32, i, n);
+    f.cond_br(c, body, exit);
+    f.switch_to(body);
+    let v = f.mul(Type::I32, i, Value::i32(3));
+    let slot = f.gep(arr, i, 4);
+    f.store(Type::I32, v, slot);
+    let lv = f.load(Type::I32, slot);
+    f.output(Type::I32, lv);
+    let i2 = f.add(Type::I32, i, Value::i32(1));
+    f.add_incoming(i, body, i2);
+    f.br(header);
+    f.switch_to(exit);
+    f.ret(None);
+    f.finish();
+    mb.finish().expect("verifies")
+}
+
+/// The distinct stratum keys of a model's injection universe.
+fn strata_of(module: &Module, model_str: &str) -> BTreeSet<SiteClass> {
+    let model = parse_fault_model(model_str).expect("model parses");
+    let campaign = Campaign::with_model(module, "main", &[24], CampaignConfig::default(), model)
+        .expect("golden run completes");
+    let mut classes = BTreeSet::new();
+    for site in campaign.sites().sites() {
+        for bit in 0..site.width as u8 {
+            classes.insert(site.class_of_bit(bit));
+        }
+    }
+    // The adaptive sampler must agree with the site table's partition.
+    let sampler = AdaptiveSampler::from_sites(campaign.sites(), SamplerConfig::default());
+    assert_eq!(
+        sampler.n_strata(),
+        classes.len(),
+        "{model_str}: sampler strata diverge from the site-table partition"
+    );
+    classes
+}
+
+#[test]
+fn strata_counts_differ_across_models() {
+    let m = kernel_module();
+    let bitflip = strata_of(&m, "bitflip");
+    let skip = strata_of(&m, "skip");
+    let wrong_branch = strata_of(&m, "wrong-branch");
+    let store_addr = strata_of(&m, "store-addr");
+    let ecc = strata_of(&m, "ecc:100");
+
+    // Bit-indexed models stratify on opcode class × operand kind × band…
+    assert!(
+        bitflip.iter().all(|c| c.band.is_some()),
+        "bitflip strata must carry a bit band"
+    );
+    assert!(
+        store_addr.iter().all(|c| c.band.is_some()),
+        "store-addr strata must carry a bit band"
+    );
+    assert!(
+        ecc.iter().all(|c| c.band.is_some()),
+        "ecc strata must carry a bit band"
+    );
+    // …while point-indexed models are bandless: their `bit` coordinate is
+    // a degenerate point index, and banding it would split identical
+    // populations into artificial strata.
+    assert!(
+        skip.iter().all(|c| c.band.is_none()),
+        "skip strata must be bandless"
+    );
+    assert!(
+        wrong_branch.iter().all(|c| c.band.is_none()),
+        "wrong-branch strata must be bandless"
+    );
+
+    // Each model's partition has its own cardinality on this kernel: the
+    // default model spreads over many (class × kind × band) cells, skip
+    // collapses to per-opcode-class cells, the control model to a single
+    // cell, and the memory models to store-anchored cells.
+    assert!(
+        bitflip.len() > skip.len(),
+        "bitflip {} vs skip {} strata",
+        bitflip.len(),
+        skip.len()
+    );
+    assert!(
+        skip.len() > wrong_branch.len(),
+        "skip {} vs wrong-branch {} strata",
+        skip.len(),
+        wrong_branch.len()
+    );
+    assert_eq!(wrong_branch.len(), 1, "one conditional opcode class");
+    assert_ne!(
+        store_addr, bitflip,
+        "store-addr must not reuse the register-model partition"
+    );
+    assert_ne!(ecc, store_addr, "value-slot vs address-slot partitions");
+}

@@ -1,0 +1,145 @@
+//! Per-word SEC-DED ECC error model with delayed reporting.
+//!
+//! Models a single ECC word that took a particle strike while at rest in
+//! memory. SEC-DED codes *correct* any single flipped bit and *detect* (but
+//! cannot correct) double-bit patterns, so the consequence of the strike is
+//! decided at the first access that touches the word — not at the strike
+//! itself. Following Jaulmes et al. ("Memory Vulnerability: A Case for
+//! Delaying Error Reporting", PAPERS.md), reporting is additionally delayed
+//! by a scrub window: an error that is raised but never consumed before the
+//! window closes is scrubbed in place and classified *masked*, because no
+//! architecturally visible state ever depended on the corrupted bits.
+//!
+//! The state machine is deliberately tiny and pure — the interpreter owns
+//! when accesses happen and what the dynamic-instruction clock reads; this
+//! module only answers "what does SEC-DED do now?".
+
+/// A pending ECC error: one word in memory currently holds `golden ^ mask`
+/// instead of `golden`, and the scrubber will visit at `deadline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccError {
+    /// Base address of the poisoned word.
+    pub addr: u64,
+    /// Word size in bytes (1, 2, 4, or 8 — the store's access size).
+    pub size: u64,
+    /// The value the word held before the strike (what correction and
+    /// scrubbing restore).
+    pub golden: u64,
+    /// XOR pattern of the strike. One set bit is correctable; two or more
+    /// defeat SEC-DED and raise a detected-uncorrectable error on
+    /// consumption.
+    pub mask: u64,
+    /// Dynamic-instruction index at which the scrub window closes. At or
+    /// after this point an unconsumed error is silently repaired.
+    pub deadline: u64,
+}
+
+/// What SEC-DED does when an access touches (or the scrubber reaches) a
+/// poisoned word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccEvent {
+    /// Single-bit error: the code corrects in place. The consumer sees the
+    /// golden value; the error is consumed silently.
+    Corrected,
+    /// Multi-bit error consumed by a read (or a partial-word read-modify-
+    /// write): detected but uncorrectable — the machine raises.
+    Detected,
+    /// A full-word store overwrote the poisoned word before anything read
+    /// it: data and check bits are rewritten, the error evaporates.
+    Overwritten,
+    /// The scrub window closed with the error unconsumed: scrubbed in
+    /// place, architecturally invisible — masked under delayed reporting.
+    Expired,
+}
+
+impl EccError {
+    /// Whether SEC-DED can repair this strike (exactly one flipped bit).
+    pub fn correctable(&self) -> bool {
+        self.mask.count_ones() <= 1
+    }
+
+    /// Whether an access of `size` bytes at `addr` touches the word.
+    pub fn overlaps(&self, addr: u64, size: u64) -> bool {
+        addr < self.addr + self.size && self.addr < addr + size
+    }
+
+    /// Whether an access of `size` bytes at `addr` covers the whole word
+    /// (a full overwrite that clears the error without consuming it).
+    pub fn covers(&self, addr: u64, size: u64) -> bool {
+        addr <= self.addr && self.addr + self.size <= addr + size
+    }
+
+    /// Whether the scrub window has closed at dynamic instruction
+    /// `dyn_count`.
+    pub fn expired(&self, dyn_count: u64) -> bool {
+        dyn_count >= self.deadline
+    }
+
+    /// What SEC-DED does for a *read* (or partial-word store, which reads
+    /// the word to merge) touching the poisoned word.
+    pub fn on_consume(&self) -> EccEvent {
+        if self.correctable() {
+            EccEvent::Corrected
+        } else {
+            EccEvent::Detected
+        }
+    }
+
+    /// The golden word as little-endian bytes, truncated to `size` — what
+    /// correction and scrubbing write back.
+    pub fn golden_bytes(&self) -> ([u8; 8], usize) {
+        (self.golden.to_le_bytes(), self.size as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(mask: u64) -> EccError {
+        EccError {
+            addr: 0x100,
+            size: 4,
+            golden: 0xDEAD_BEEF,
+            mask,
+            deadline: 50,
+        }
+    }
+
+    #[test]
+    fn single_bit_corrects_double_bit_detects() {
+        assert_eq!(err(0b1).on_consume(), EccEvent::Corrected);
+        assert_eq!(err(0b11).on_consume(), EccEvent::Detected);
+        assert_eq!(err(1 | 1 << 31).on_consume(), EccEvent::Detected);
+    }
+
+    #[test]
+    fn overlap_and_cover_geometry() {
+        let e = err(0b11);
+        assert!(e.overlaps(0x100, 4));
+        assert!(e.overlaps(0x102, 1));
+        assert!(e.overlaps(0xFE, 4)); // straddles the front edge
+        assert!(!e.overlaps(0x104, 4));
+        assert!(!e.overlaps(0xFC, 4));
+        assert!(e.covers(0x100, 4));
+        assert!(e.covers(0x100, 8));
+        assert!(e.covers(0xFC, 8));
+        assert!(!e.covers(0x102, 4)); // overlaps but doesn't cover
+        assert!(!e.covers(0x100, 2));
+    }
+
+    #[test]
+    fn window_expiry_is_at_or_after_deadline() {
+        let e = err(0b11);
+        assert!(!e.expired(49));
+        assert!(e.expired(50));
+        assert!(e.expired(51));
+    }
+
+    #[test]
+    fn golden_bytes_are_little_endian_truncated() {
+        let (bytes, n) = err(0b11).golden_bytes();
+        assert_eq!(n, 4);
+        assert_eq!(&bytes[..n], &[0xEF, 0xBE, 0xAD, 0xDE]);
+    }
+}

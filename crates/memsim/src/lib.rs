@@ -38,10 +38,12 @@
 
 #![warn(missing_docs)]
 
+mod ecc;
 mod fault;
 mod memory;
 mod vma;
 
+pub use ecc::{EccError, EccEvent};
 pub use fault::AccessError;
 pub use memory::{
     AlignmentPolicy, MemConfig, MemStats, SimMemory, DATA_BASE, DEFAULT_STACK_LIMIT, HEAP_BASE,

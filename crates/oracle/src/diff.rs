@@ -17,13 +17,14 @@
 //!    approximations — see [`hard_invariant_scan`].
 
 use crate::ground_truth::{sweep, GroundTruth};
-use epvf_core::{analyze, Constraint, EpvfConfig, EpvfResult};
-use epvf_interp::InjectionSpec;
+use epvf_core::{analyze, Constraint, EpvfConfig, EpvfResult, FaultModel};
+use epvf_interp::{FaultEffect, InjectionSpec};
 use epvf_ir::{Module, Op};
 use epvf_llfi::{Campaign, CampaignConfig, InjOutcome};
 use epvf_memsim::AlignmentPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Exact confusion matrix of crash prediction over the executed flips.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -161,9 +162,8 @@ pub fn differential_check(
     let mut disagreements: Vec<Disagreement> = Vec::new();
     let mut total = 0u64;
     for &(spec, outcome) in &gt.runs {
-        let predicted = res
-            .crash_map
-            .predicts_crash(spec.dyn_idx, spec.operand_slot, spec.bit);
+        let effect = lowered_effect(campaign, spec);
+        let predicted = predicts_crash_effect(res, spec, effect);
         let crashed = outcome.is_crash();
         match (predicted, crashed) {
             (true, true) => confusion.tp += 1,
@@ -171,11 +171,18 @@ pub fn differential_check(
             (false, true) => confusion.fn_ += 1,
             (false, false) => confusion.tn += 1,
         }
+        // The "masked ⇒ cannot corrupt output" claim is only about faults
+        // in register reads; control and memory-cell faults propagate
+        // through channels the ACE graph never claimed to model.
+        let is_reg_fault = matches!(effect, FaultEffect::OperandXor { .. });
         let kind = if crashed && !predicted {
             Some(DisagreementKind::MissedCrash)
         } else if predicted && !crashed {
             Some(DisagreementKind::PhantomCrash)
-        } else if outcome == InjOutcome::Sdc && is_masked_read(res, trace, &pure, spec) {
+        } else if outcome == InjOutcome::Sdc
+            && is_reg_fault
+            && is_masked_read(res, trace, &pure, spec)
+        {
             masked_sdc += 1;
             Some(DisagreementKind::MaskedSdc)
         } else {
@@ -212,6 +219,37 @@ pub fn differential_check(
         masked_sdc,
         disagreements,
         total_disagreements: total,
+    }
+}
+
+/// Lower `spec` through the campaign's fault model to its machine effect.
+fn lowered_effect(campaign: &Campaign<'_>, spec: InjectionSpec) -> FaultEffect {
+    let width = campaign
+        .sites()
+        .width_of(spec.dyn_idx, spec.operand_slot)
+        .unwrap_or(64);
+    campaign.model().lower(spec, width).effect
+}
+
+/// The crash model's prediction for one lowered fault effect. Register
+/// XORs score their mask against the operand-read constraint; address
+/// XORs score against the address operand's constraint (addressing is
+/// direct — the effect applies to the just-read effective address);
+/// result, control, and memory-cell faults carry no crash-model claim, so
+/// they predict `false` and can only cost precision, never recall.
+fn predicts_crash_effect(res: &EpvfResult, spec: InjectionSpec, effect: FaultEffect) -> bool {
+    match effect {
+        FaultEffect::OperandXor { slot, mask } => {
+            res.crash_map.predicts_crash_mask(spec.dyn_idx, slot, mask)
+        }
+        FaultEffect::AddrXor { mask } => {
+            res.crash_map
+                .predicts_crash_mask(spec.dyn_idx, spec.operand_slot, mask)
+        }
+        FaultEffect::ResultXor { .. }
+        | FaultEffect::SkipInst
+        | FaultEffect::FlipBranch
+        | FaultEffect::EccFlip { .. } => false,
     }
 }
 
@@ -300,14 +338,23 @@ pub fn hard_invariant_scan(
         let Some(mem) = rec.mem.as_ref() else {
             continue;
         };
-        if spec.operand_slot != usize::from(mem.is_store) {
-            continue; // not the address operand
-        }
-        let op = &rec.operands[spec.operand_slot];
-        if op.bits != mem.addr {
-            continue; // address was adjusted after the read; not direct
-        }
-        let flipped = op.bits ^ (1u64 << spec.bit);
+        let addr_slot = usize::from(mem.is_store);
+        // The invariant only constrains faults that corrupt the effective
+        // address: a register XOR of the (directly used) address operand,
+        // or an address-line XOR applied after the read.
+        let flipped = match lowered_effect(campaign, spec) {
+            FaultEffect::OperandXor { slot, mask } if slot == addr_slot => {
+                let Some(op) = rec.operands.get(slot) else {
+                    continue;
+                };
+                if op.bits != mem.addr {
+                    continue; // address was adjusted after the read; not direct
+                }
+                op.bits ^ mask
+            }
+            FaultEffect::AddrXor { mask } => mem.addr ^ mask,
+            _ => continue,
+        };
         if mem
             .map
             .definitely_faults(flipped, mem.size, mem.sp, AlignmentPolicy::FourByte)
@@ -378,7 +425,33 @@ pub fn check_module_with(
     max_repros: usize,
     config: EpvfConfig,
 ) -> OracleOutcome {
-    let campaign = Campaign::new(module, entry, args, CampaignConfig::default())
+    check_module_model(
+        module,
+        entry,
+        args,
+        max_repros,
+        config,
+        epvf_core::default_fault_model(),
+    )
+}
+
+/// [`check_module_with`] under an explicit [`FaultModel`]: the sweep
+/// enumerates the model's injection-point universe, every point is lowered
+/// through the model before execution, and the differential check scores
+/// the crash map against the lowered effects (register and address XORs
+/// carry predictions; control and memory-cell faults predict `false`).
+///
+/// # Panics
+/// Panics if the module's golden run does not complete.
+pub fn check_module_model(
+    module: &Module,
+    entry: &str,
+    args: &[u64],
+    max_repros: usize,
+    config: EpvfConfig,
+    model: Arc<dyn FaultModel>,
+) -> OracleOutcome {
+    let campaign = Campaign::with_model(module, entry, args, CampaignConfig::default(), model)
         .expect("golden run completes");
     let trace = campaign.golden().trace.as_ref().expect("golden is traced");
     let res = analyze(module, trace, config);

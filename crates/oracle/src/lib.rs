@@ -41,8 +41,8 @@ mod repro;
 
 pub use calibrate::{calibrate, Calibration};
 pub use diff::{
-    check_module, check_module_with, differential_check, hard_invariant_scan, Confusion,
-    DiffReport, Disagreement, DisagreementKind, HardViolation, OracleOutcome,
+    check_module, check_module_model, check_module_with, differential_check, hard_invariant_scan,
+    Confusion, DiffReport, Disagreement, DisagreementKind, HardViolation, OracleOutcome,
 };
 pub use generator::{GenConfig, GenOp, Recipe, BUF_LEN, N_BUFS};
 pub use ground_truth::{outcome_label, sweep, GroundTruth};

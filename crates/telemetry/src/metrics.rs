@@ -103,6 +103,16 @@ define_counters! {
         "shared pages copied on write after a snapshot clone"),
     MemPagesMaterialized => ("memsim.pages_materialized", Sum, false,
         "zero pages materialized on first write"),
+    MemEccRaised => ("memsim.ecc.raised", Sum, true,
+        "ECC errors planted in resident words by the ecc fault model"),
+    MemEccDetected => ("memsim.ecc.detected", Sum, true,
+        "uncorrectable ECC errors consumed by a read (detected-uncorrectable)"),
+    MemEccCorrected => ("memsim.ecc.corrected", Sum, true,
+        "single-bit ECC errors repaired in place on consumption"),
+    MemEccOverwritten => ("memsim.ecc.overwritten", Sum, true,
+        "ECC errors cleared by a full-word overwrite before consumption"),
+    MemEccExpired => ("memsim.ecc.expired", Sum, true,
+        "ECC errors scrubbed unconsumed at the delayed-reporting window close"),
     // --- DDG / ACE graph ---
     DdgBuilds => ("ddg.builds", Sum, true,
         "dynamic dependency graphs constructed"),

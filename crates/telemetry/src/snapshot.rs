@@ -136,6 +136,21 @@ impl MetricsSnapshot {
                 c("llfi.campaign.runs_benign")
             ),
         );
+        let ecc_resolved = c("memsim.ecc.detected")
+            + c("memsim.ecc.corrected")
+            + c("memsim.ecc.overwritten")
+            + c("memsim.ecc.expired");
+        law(
+            // Every planted ECC error resolves exactly once: consumed
+            // (detected or corrected), overwritten, or scrubbed at the
+            // window close (errors still pending when a run terminates are
+            // flushed as expired).
+            ecc_resolved == c("memsim.ecc.raised"),
+            format!(
+                "ECC resolutions sum to {ecc_resolved}, expected raised = {}",
+                c("memsim.ecc.raised")
+            ),
+        );
         law(
             c("ace.nodes_visited") <= c("ddg.nodes_created"),
             format!(
