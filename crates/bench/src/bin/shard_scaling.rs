@@ -1,0 +1,121 @@
+//! Shard-scaling study: how campaign wall time falls as one fingerprint
+//! is partitioned across shards.
+//!
+//! Each shard count S runs the same drawn spec list as S strided slices
+//! through shard-geometry sessions — exactly the work `epvf shard` does
+//! per process — and the reported time is the *critical path*
+//! (`max` over the shards), the wall time of an S-process run on S free
+//! cores. Sequential measurement keeps the numbers honest on any host,
+//! including single-core CI runners, where concurrent shard processes
+//! would contend for the one core and measure the scheduler instead of
+//! the partition. Every merged result is checked against the
+//! single-process run before its time is reported: a speedup on a wrong
+//! answer is not a speedup.
+
+use epvf_bench::{analyze_workload_with, print_table, timed, HarnessOpts};
+use epvf_interp::InjectionSpec;
+use epvf_llfi::{Campaign, CampaignResult, RunSession, ShardOutcomes, ShardSpec};
+use epvf_telemetry::MetricsReport;
+use std::collections::BTreeMap;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn run_shard(campaign: &Campaign<'_>, specs: &[InjectionSpec], shard: ShardSpec) -> CampaignResult {
+    let local: Vec<InjectionSpec> = shard.indices(specs.len()).map(|g| specs[g]).collect();
+    let session = RunSession {
+        recovered: BTreeMap::new(),
+        wal: None,
+        index_base: shard.index(),
+        index_stride: shard.of(),
+        ..RunSession::default()
+    };
+    campaign.run_specs_session(&local, &session)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Shards are processes; measure each slice single-threaded.
+    let mut config = opts.campaign_config();
+    config.threads = 1;
+
+    let mut rows = Vec::new();
+    // Headline number: the 4-shard speedup on the biggest workload
+    // (largest single-process time), where the partition matters most.
+    let mut headline = (0.0f64, f64::NAN);
+    for w in opts.workloads() {
+        let a = analyze_workload_with(&w, config);
+        let specs = a.campaign.draw_specs(opts.runs, opts.seed);
+        let (whole, t_single) = timed(|| a.campaign.run_specs(&specs));
+
+        let mut row = vec![
+            w.name.to_string(),
+            specs.len().to_string(),
+            format!("{t_single:.0} ms"),
+        ];
+        for of in SHARD_COUNTS {
+            let mut union = ShardOutcomes::empty();
+            let mut critical_path: f64 = 0.0;
+            for index in 0..of {
+                let shard = ShardSpec::new(index, of).expect("valid geometry");
+                let (part, t) = timed(|| run_shard(&a.campaign, &specs, shard));
+                critical_path = critical_path.max(t);
+                union = union
+                    .merge(ShardOutcomes::from_run(shard, &part))
+                    .expect("disjoint shards");
+            }
+            let merged = union.into_result(&specs).expect("complete shard set");
+            assert_eq!(
+                merged.runs, whole.runs,
+                "{}: {of}-shard merge diverged from the single-process run",
+                w.name
+            );
+            let speedup = t_single / critical_path;
+            if of == 4 && t_single >= headline.0 {
+                headline = (t_single, speedup);
+            }
+            row.push(format!("{critical_path:.0} ms"));
+            row.push(format!("{speedup:.2}x"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Shard scaling (critical-path time, merged result verified)",
+        &[
+            "benchmark",
+            "runs",
+            "1 shard",
+            "2 (crit)",
+            "speedup",
+            "4 (crit)",
+            "speedup",
+            "8 (crit)",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let speedup_at_4 = headline.1;
+    let path = opts
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_shard_scaling.json".into());
+    let report = MetricsReport::new(epvf_telemetry::global_snapshot())
+        .with_meta("tool", "epvf-bench")
+        .with_meta("harness", "shard_scaling")
+        .with_meta("git_sha", epvf_bench::git_sha())
+        .with_meta("runs", opts.runs.to_string())
+        .with_meta("seed", opts.seed.to_string())
+        .with_meta("scale", format!("{:?}", opts.scale).to_lowercase())
+        .with_meta("bench", opts.only.as_deref().unwrap_or("all"))
+        // 4-shard critical-path speedup on the biggest workload, so the
+        // scaling claim is checkable without re-parsing the table.
+        .with_meta("speedup_at_4_shards", format!("{speedup_at_4:.2}"));
+    match report.write_file(&path) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: cannot write {}: {e}", path.display()),
+    }
+    assert!(
+        speedup_at_4 >= 3.0,
+        "4-shard critical-path speedup {speedup_at_4:.2}x is below the 3x floor"
+    );
+}

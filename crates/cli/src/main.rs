@@ -26,8 +26,8 @@ use epvf_core::{
 use epvf_interp::{ExecConfig, Interpreter};
 use epvf_ir::{parse_module, Module};
 use epvf_llfi::{
-    precision_study, recall_study, wal_fingerprint_adaptive_model, wal_fingerprint_model, Campaign,
-    CampaignConfig, RunSession, SamplerConfig, WalError, WalSink,
+    wal_fingerprint_adaptive_model, wal_fingerprint_model, Campaign, CampaignConfig, RunSession,
+    SamplerConfig, WalError, WalSink,
 };
 use epvf_oracle::{
     calibrate, differential_check, hard_invariant_scan, outcome_label, parse_repro, replay_repro,
@@ -37,6 +37,10 @@ use epvf_protect::{plan_protection, rank_instructions, RankingStrategy};
 use epvf_telemetry::{MetricsReport, Progress};
 use epvf_workloads::{by_name, extended_suite, Scale, Workload};
 use std::process::ExitCode;
+
+mod serve;
+mod sharding;
+mod summary;
 
 /// Structured CLI failure: every variant maps to a distinct, documented
 /// exit code (see the bottom of `epvf --help`) so scripts and CI can
@@ -134,6 +138,9 @@ fn main() -> ExitCode {
             Some("run") => with_target(&args, cmd_run),
             Some("analyze") => with_target(&args, cmd_analyze),
             Some("inject") => with_target(&args, cmd_inject),
+            Some("shard") => with_target(&args, sharding::cmd_shard),
+            Some("merge") => with_target(&args, sharding::cmd_merge),
+            Some("serve") => serve::cmd_serve(args.get(1..).unwrap_or(&[])),
             Some("oracle") => cmd_oracle(args.get(1..).unwrap_or(&[])),
             Some("protect") => with_target(&args, cmd_protect),
             Some("metrics-check") => cmd_metrics_check(args.get(1..).unwrap_or(&[])),
@@ -192,7 +199,24 @@ fn write_metrics(path: Option<&std::path::Path>, args: &[String]) -> Result<(), 
 /// Validate `--metrics-out` / `BENCH_*.json` artifacts: every line must
 /// parse under the current schema version and satisfy the pipeline's
 /// conservation laws.
-fn cmd_metrics_check(files: &[String]) -> Result<(), CliError> {
+fn cmd_metrics_check(args: &[String]) -> Result<(), CliError> {
+    // `--diff-counters PREFIX A B`: compare every counter under PREFIX
+    // between two metrics files — the shard-smoke CI gate uses this to
+    // assert a merged multi-shard campaign produced exactly the
+    // single-process `llfi.campaign.` counters.
+    if args.first().map(String::as_str) == Some("--diff-counters") {
+        let [prefix, a, b] = args
+            .get(1..4)
+            .and_then(|s| <&[String; 3]>::try_from(s).ok())
+            .ok_or(CliError::usage(
+                "--diff-counters needs PREFIX FILE_A FILE_B",
+            ))?;
+        if let Some(extra) = args.get(4) {
+            return Err(CliError::usage(format!("unexpected argument `{extra}`")));
+        }
+        return diff_counters(prefix, a, b);
+    }
+    let files = args;
     if files.is_empty() {
         return Err(CliError::usage("metrics-check needs at least one file"));
     }
@@ -241,6 +265,61 @@ fn cmd_metrics_check(files: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Load the single metrics document a `--diff-counters` operand must
+/// contain.
+fn load_metrics(file: &str) -> Result<MetricsReport, CliError> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| CliError::io(format!("reading {file}: {e}")))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let line = lines
+        .next()
+        .ok_or_else(|| CliError::input(format!("{file}: no metrics documents")))?;
+    if lines.next().is_some() {
+        return Err(CliError::input(format!(
+            "{file}: --diff-counters expects exactly one metrics document"
+        )));
+    }
+    MetricsReport::parse(line).map_err(|e| CliError::input(format!("{file}: {e}")))
+}
+
+/// Compare every counter whose name starts with `prefix` between two
+/// metrics files; exit 7 on any difference.
+fn diff_counters(prefix: &str, file_a: &str, file_b: &str) -> Result<(), CliError> {
+    let a = load_metrics(file_a)?.snapshot;
+    let b = load_metrics(file_b)?.snapshot;
+    let names: std::collections::BTreeSet<&String> = a
+        .counters
+        .keys()
+        .chain(b.counters.keys())
+        .filter(|n| n.starts_with(prefix))
+        .collect();
+    if names.is_empty() {
+        return Err(CliError::usage(format!(
+            "no counters match prefix `{prefix}`"
+        )));
+    }
+    let mut mismatches = 0usize;
+    for name in &names {
+        let (va, vb) = (a.counter(name), b.counter(name));
+        if va != vb {
+            eprintln!("{name}: {va} ({file_a}) != {vb} ({file_b})");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        Err(CliError::Metrics(format!(
+            "{mismatches} of {} `{prefix}` counter(s) differ",
+            names.len()
+        )))
+    } else {
+        println!(
+            "ok: {} `{prefix}` counter(s) identical across {file_a} and {file_b}",
+            names.len()
+        );
+        Ok(())
+    }
+}
+
 const USAGE: &str = "\
 usage: epvf <command> [args]
 
@@ -283,6 +362,31 @@ usage: epvf <command> [args]
                                (instruction skip), wrong-branch,
                                store-addr, ecc[:W] (SEC-DED memory word,
                                report window W dyn insts, default 100)
+  shard <target> [N] [SEED]    run one strided slice of an inject campaign
+    --index I --of S           this process owns spec indices ≡ I (mod S)
+    --wal FILE                 required: the shard's crash-safe log, its
+                               fingerprint domain-separated by (I, S) so it
+                               cannot resume or merge under the wrong
+                               partition geometry
+    --resume                   recover FILE and run only the missing slice
+    (other inject flags as above; --sample is not shardable)
+  merge <target> [N] [SEED]    fold shard WALs into the full aggregate;
+                               stdout is byte-identical to the equivalent
+                               single-process `epvf inject`
+    --wal FILE                 one per shard (the shard count is the number
+                               of --wal flags); incomplete, foreign, or
+                               duplicated shard sets exit 4
+    --metrics-in FILE          per-shard --metrics-out snapshots to fold
+                               with the snapshot merge algebra
+    --metrics-merged FILE      write the folded snapshot (requires
+                               --metrics-in); conservation laws re-checked
+  serve --socket PATH          long-lived campaign daemon on a Unix socket;
+                               line protocol: `ping`, `shutdown`, and
+                               `run <target> [N] [SEED] [--shards S] ...`
+                               (requests queue FIFO; golden runs, site
+                               tables and checkpoints are cached across
+                               requests; --shards S multiplexes S `epvf
+                               shard` worker processes and merges them)
   oracle <target>              exhaustive bit-flip oracle vs crash model
     --workload NAME            alternative way to name the target
     --limit N                  subsample the sweep to ~N runs (0 = all)
@@ -299,6 +403,9 @@ usage: epvf <command> [args]
   protect <target> [BUDGET]    ePVF vs hot-path duplication (default 0.24)
   metrics-check <file>...      validate metrics JSON artifacts (schema +
                                conservation laws); nonzero exit on violation
+  metrics-check --diff-counters PREFIX A B
+                               compare every counter under PREFIX between
+                               two metrics files; exit 7 on any difference
 
   --metrics-out FILE           (any command) write pipeline telemetry as
                                one line of versioned JSON
@@ -310,7 +417,9 @@ exit codes:
   2  usage error (unknown command/flag, malformed value)
   3  degraded campaign (quarantine + timeout rate over --max-unsound;
      partial results and metrics are still written)
-  4  invalid input file (IR parse/verify, bad repro, foreign WAL)
+  4  invalid input file (IR parse/verify, bad repro, foreign WAL, shard
+     WAL resumed or merged under the wrong --index/--of geometry,
+     incomplete or duplicated shard set)
   5  campaign setup failure (golden run failed, no injectable sites)
   6  I/O error
   7  metrics validation failure (schema or conservation law)
@@ -633,93 +742,20 @@ fn cmd_inject(t: Target, rest: &[String]) -> Result<(), CliError> {
         campaign.run_specs(&specs)
     };
 
-    println!(
-        "target    : {} ({} runs, seed {})",
-        t.label,
-        fi.n(),
-        opts.seed
+    // The summary renderer is shared with `epvf merge`: a merged N-shard
+    // campaign must reproduce these bytes exactly (the differential
+    // shard-equivalence suite diffs the two outputs).
+    print!(
+        "{}",
+        summary::inject_summary(&t.label, opts.seed, &campaign, &res, &fi)
     );
-    let model_name = campaign.model().name();
-    let default_model = model_name == epvf_core::DEFAULT_MODEL;
-    if !default_model {
-        println!("model     : {model_name}");
-    }
-    println!(
-        "outcomes  : crash {:.1}%  SDC {:.1}%  hang {:.1}%  benign {:.1}%",
-        100.0 * fi.crash_rate(),
-        100.0 * fi.sdc_rate(),
-        100.0 * fi.hang_rate(),
-        100.0 * fi.benign_rate()
-    );
-    // Only printed when nonzero, which keeps the default single-bit
-    // campaign output byte-identical (no detector fires without
-    // protection or an error-reporting fault model).
-    if fi.detected_rate() > 0.0 {
-        println!("detected  : {:.1}%", 100.0 * fi.detected_rate());
-    }
-    if fi.unsound_rate() > 0.0 {
-        println!(
-            "supervised: timed-out {:.1}%  quarantined {:.1}%",
-            100.0 * fi.timed_out_rate(),
-            100.0 * fi.quarantined_rate()
-        );
-    }
-    let [sf, a, mma, ae] = fi.crash_kind_fractions();
-    println!(
-        "crashes   : SF {:.1}%  A {:.1}%  MMA {:.1}%  AE {:.1}%",
-        100.0 * sf,
-        100.0 * a,
-        100.0 * mma,
-        100.0 * ae
-    );
-    // The quick single-bit recall/precision estimate only makes sense for
-    // the model whose specs *are* single-bit flips; other models are
-    // scored exactly by `epvf oracle --fault-model`.
-    if default_model {
-        let recall = recall_study(&fi, &res.crash_map);
-        let precision = precision_study(
-            &campaign,
-            &res.crash_map,
-            (opts.runs / 2).max(100),
-            opts.seed,
-        );
-        println!("recall    : {:.1}%", 100.0 * recall.recall());
-        println!("precision : {:.1}%", 100.0 * precision.precision());
-        println!(
-            "crash rate: model {:.1}% vs measured {:.1}%",
-            100.0 * res.metrics.crash_rate_estimate,
-            100.0 * fi.crash_rate()
-        );
-    }
-
-    if let Some(dir) = &opts.quarantine_dir {
-        if !fi.quarantines.is_empty() {
-            let prefix = t.label.replace([':', '/'], "-");
-            let paths = campaign
-                .write_quarantine_repros(dir, &prefix, &fi.quarantines)
-                .map_err(|e| CliError::io(format!("writing quarantine repros: {e}")))?;
-            println!(
-                "quarantine: {} repro file(s) in {}",
-                paths.len(),
-                dir.display()
-            );
-        }
-    }
-
-    // Graceful degradation: the campaign finished with partial results;
-    // report through the progress reporter and exit with the distinct
-    // "degraded" code so CI can tell this apart from a hard failure.
-    if fi.unsound_rate() > opts.max_unsound {
-        let msg = format!(
-            "campaign degraded: {:.1}% of runs quarantined or timed out \
-             (threshold {:.1}%); results above are partial",
-            100.0 * fi.unsound_rate(),
-            100.0 * opts.max_unsound
-        );
-        Progress::new("inject", 0).note(&msg);
-        return Err(CliError::Degraded(msg));
-    }
-    Ok(())
+    summary::finish_campaign(
+        &t.label,
+        &campaign,
+        &fi,
+        opts.quarantine_dir.as_deref(),
+        opts.max_unsound,
+    )
 }
 
 /// `epvf inject --sample`: adaptive stratified campaign that stops when

@@ -1,0 +1,374 @@
+//! `epvf serve` — a long-lived campaign daemon on a Unix domain socket.
+//!
+//! Clients send line-oriented requests; the daemon queues them and
+//! executes them strictly in arrival order on one worker (campaign
+//! workers already saturate the cores — overlapping campaigns would just
+//! fight each other):
+//!
+//! ```text
+//! ping                                  -> pong
+//! run <target> [N] [SEED] [--shards S] [inject flags]
+//!                                       -> queued <id>
+//!                                          start <id>
+//!                                          cache <id> hit|miss
+//!                                          [progress <id> ...]
+//!                                          out <id> <summary line>...
+//!                                          done <id>   (or: error <id> <msg>)
+//! shutdown                              -> bye  (after the queue drains)
+//! ```
+//!
+//! The expensive part of every campaign — the traced golden run, the
+//! model's site table, and the replay checkpoints — is cached across
+//! requests keyed on `(module text, entry, args, fault model, checkpoint
+//! interval)`, so a repeated spec costs only the injections themselves
+//! (`serve.cache.hits` / `serve.cache.misses` count the split). With
+//! `--shards S`, the daemon multiplexes `S` `epvf shard` worker processes
+//! over temporary WALs and folds them back with the same merge path as
+//! `epvf merge`.
+
+use crate::CliError;
+
+/// `epvf serve --socket PATH`.
+pub(crate) fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
+    #[cfg(not(unix))]
+    {
+        let _ = rest;
+        Err(CliError::usage(
+            "serve requires Unix domain sockets (unsupported on this platform)",
+        ))
+    }
+    #[cfg(unix)]
+    unix::serve(rest)
+}
+
+#[cfg(unix)]
+mod unix {
+    use crate::{parse_inject_opts, resolve, sharding, summary, CliError};
+    use epvf_core::{analyze, EpvfConfig, EpvfResult, FaultModel};
+    use epvf_ir::Module;
+    use epvf_llfi::{Campaign, CampaignAggregate, GoldenArtifacts};
+    use epvf_telemetry::{add, Ctr};
+    use epvf_workloads::Workload;
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// A connection's write half, shared between the handler thread (which
+    /// acks `queued`) and the worker (which streams results). Whole lines
+    /// are written under the lock so replies never interleave mid-line.
+    type Conn = Arc<Mutex<UnixStream>>;
+
+    fn say(conn: &Conn, line: &str) {
+        if let Ok(mut s) = conn.lock() {
+            let _ = writeln!(s, "{line}");
+            let _ = s.flush();
+        }
+    }
+
+    enum Job {
+        Run {
+            id: u64,
+            tokens: Vec<String>,
+            conn: Conn,
+        },
+        Shutdown {
+            conn: Conn,
+        },
+    }
+
+    /// Everything reusable about a prepared campaign: the owned module
+    /// (campaigns borrow it), the golden artifacts, and the analysis the
+    /// summary needs. One entry per distinct request key.
+    struct CacheEntry {
+        label: String,
+        module: Module,
+        args: Vec<u64>,
+        artifacts: GoldenArtifacts,
+        res: EpvfResult,
+    }
+
+    pub(super) fn serve(rest: &[String]) -> Result<(), CliError> {
+        let mut socket: Option<PathBuf> = None;
+        let mut it = rest.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--socket" => {
+                    socket = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("--socket needs a path"))?
+                            .into(),
+                    )
+                }
+                other => return Err(CliError::usage(format!("unknown serve argument `{other}`"))),
+            }
+        }
+        let socket = socket.ok_or_else(|| CliError::usage("serve requires --socket PATH"))?;
+        // A stale socket file from a dead daemon blocks bind; a live one
+        // is indistinguishable here, so last-started daemon wins (the CI
+        // and tests use per-run socket paths).
+        let _ = std::fs::remove_file(&socket);
+        let listener = UnixListener::bind(&socket)
+            .map_err(|e| CliError::io(format!("binding {}: {e}", socket.display())))?;
+        println!("serving on {}", socket.display());
+
+        let (tx, rx) = mpsc::channel::<Job>();
+        let next_id = Arc::new(AtomicU64::new(0));
+        {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let tx = tx.clone();
+                    let next_id = Arc::clone(&next_id);
+                    std::thread::spawn(move || handle_connection(stream, tx, next_id));
+                }
+            });
+        }
+        drop(tx);
+
+        let mut cache: HashMap<u64, CacheEntry> = HashMap::new();
+        for job in rx {
+            match job {
+                Job::Shutdown { conn } => {
+                    say(&conn, "bye");
+                    break;
+                }
+                Job::Run { id, tokens, conn } => {
+                    say(&conn, &format!("start {id}"));
+                    match handle_run(id, &tokens, &conn, &mut cache) {
+                        Ok(()) => say(&conn, &format!("done {id}")),
+                        Err(e) => say(
+                            &conn,
+                            &format!("error {id} {}", e.message().replace('\n', " ")),
+                        ),
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&socket);
+        Ok(())
+    }
+
+    fn handle_connection(stream: UnixStream, tx: mpsc::Sender<Job>, next_id: Arc<AtomicU64>) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let conn: Conn = Arc::new(Mutex::new(stream));
+        for line in BufReader::new(read_half).lines() {
+            let Ok(line) = line else { break };
+            let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            match tokens.first().map(String::as_str) {
+                None => {}
+                Some("ping") => say(&conn, "pong"),
+                Some("shutdown") => {
+                    // Enqueued like any job, so the queue drains first.
+                    let _ = tx.send(Job::Shutdown {
+                        conn: Arc::clone(&conn),
+                    });
+                }
+                Some("run") => {
+                    // Ids are handed out in request order; the single
+                    // worker then executes the queue FIFO, so `start`
+                    // lines appear in id order too.
+                    let id = next_id.fetch_add(1, Ordering::SeqCst) + 1;
+                    say(&conn, &format!("queued {id}"));
+                    let _ = tx.send(Job::Run {
+                        id,
+                        tokens: tokens[1..].to_vec(),
+                        conn: Arc::clone(&conn),
+                    });
+                }
+                Some(other) => say(&conn, &format!("error 0 unknown request `{other}`")),
+            }
+        }
+    }
+
+    /// Cache key: everything [`GoldenArtifacts`] depend on. Module text
+    /// (not the target name) so a re-dumped identical IR file hits.
+    fn cache_key(module: &Module, args: &[u64], model_name: &str, ckpt_interval: u64) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        module.to_string().hash(&mut h);
+        Workload::ENTRY.hash(&mut h);
+        args.hash(&mut h);
+        model_name.hash(&mut h);
+        ckpt_interval.hash(&mut h);
+        h.finish()
+    }
+
+    fn handle_run(
+        id: u64,
+        tokens: &[String],
+        conn: &Conn,
+        cache: &mut HashMap<u64, CacheEntry>,
+    ) -> Result<(), CliError> {
+        let (spec, rest) = tokens
+            .split_first()
+            .ok_or_else(|| CliError::usage("run needs a <target>"))?;
+        // Pull --shards out; everything else is ordinary inject syntax.
+        let mut shards = 1usize;
+        let mut forwarded: Vec<String> = Vec::new();
+        let mut it = rest.iter();
+        while let Some(a) = it.next() {
+            if a == "--shards" {
+                shards = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--shards needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --shards"))?;
+                if shards == 0 {
+                    return Err(CliError::usage("bad --shards"));
+                }
+            } else {
+                forwarded.push(a.clone());
+            }
+        }
+        let (config, opts) = parse_inject_opts(&forwarded)?;
+        if opts.wal.is_some() || opts.resume || opts.sample {
+            return Err(CliError::usage(
+                "serve requests take neither --wal, --resume nor --sample",
+            ));
+        }
+        let model: Arc<dyn FaultModel> = match &opts.model {
+            Some(m) => Arc::clone(m),
+            None => epvf_core::default_fault_model(),
+        };
+
+        let t = resolve(spec)?;
+        let key = cache_key(&t.module, &t.args, &model.name(), config.ckpt_interval);
+        // The split below keeps the serve conservation law exact: every
+        // campaign request resolves its artifacts exactly once, from the
+        // cache or from a fresh golden run.
+        add(Ctr::ServeCampaigns, 1);
+        let entry = match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                add(Ctr::ServeCacheHits, 1);
+                say(conn, &format!("cache {id} hit"));
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                add(Ctr::ServeCacheMisses, 1);
+                say(conn, &format!("cache {id} miss"));
+                let campaign = Campaign::with_model(
+                    &t.module,
+                    Workload::ENTRY,
+                    &t.args,
+                    config,
+                    Arc::clone(&model),
+                )
+                .map_err(CliError::campaign)?;
+                let trace = campaign
+                    .golden()
+                    .trace
+                    .as_ref()
+                    .ok_or_else(|| CliError::campaign("golden run produced no trace"))?;
+                let res = analyze(&t.module, trace, EpvfConfig::default());
+                let artifacts = campaign.artifacts();
+                drop(campaign);
+                v.insert(CacheEntry {
+                    label: t.label.clone(),
+                    module: t.module,
+                    args: t.args,
+                    artifacts,
+                    res,
+                })
+            }
+        };
+
+        let campaign = Campaign::from_artifacts(
+            &entry.module,
+            Workload::ENTRY,
+            &entry.args,
+            config,
+            model,
+            entry.artifacts.clone(),
+        )
+        .map_err(CliError::campaign)?;
+        let specs = campaign.draw_specs(opts.runs, opts.seed);
+
+        let fi = if shards == 1 {
+            campaign.run_specs(&specs)
+        } else {
+            run_sharded(id, spec, &forwarded, shards, conn)?;
+            let base_fp = sharding::base_fingerprint_parts(
+                &entry.module,
+                &entry.args,
+                &campaign.model().name(),
+                &specs,
+            );
+            let wals: Vec<PathBuf> = (0..shards).map(|i| shard_wal_path(id, i)).collect();
+            let merged = sharding::merge_shard_wals(&wals, base_fp, &specs);
+            let _ = std::fs::remove_dir_all(shard_dir(id));
+            merged?
+        };
+
+        let agg = CampaignAggregate::from_result(&fi, campaign.sites(), Some(&entry.res.crash_map));
+        agg.check()
+            .map_err(|e| CliError::campaign(format!("merged aggregate inconsistent: {e}")))?;
+        let text = summary::inject_summary(&entry.label, opts.seed, &campaign, &entry.res, &fi);
+        for line in text.lines() {
+            say(conn, &format!("out {id} {line}"));
+        }
+        Ok(())
+    }
+
+    fn shard_dir(id: u64) -> PathBuf {
+        std::env::temp_dir().join(format!("epvf-serve-{}-{id}", std::process::id()))
+    }
+
+    fn shard_wal_path(id: u64, index: usize) -> PathBuf {
+        shard_dir(id).join(format!("shard-{index}.wal"))
+    }
+
+    /// Multiplex `shards` `epvf shard` worker processes over temporary
+    /// WALs, streaming one `progress` line per finished worker.
+    fn run_sharded(
+        id: u64,
+        spec: &str,
+        forwarded: &[String],
+        shards: usize,
+        conn: &Conn,
+    ) -> Result<(), CliError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| CliError::io(format!("locating the epvf binary: {e}")))?;
+        let dir = shard_dir(id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::io(format!("creating {}: {e}", dir.display())))?;
+        let mut children = Vec::new();
+        for i in 0..shards {
+            let child = std::process::Command::new(&exe)
+                .arg("shard")
+                .arg(spec)
+                .args(forwarded)
+                .arg("--index")
+                .arg(i.to_string())
+                .arg("--of")
+                .arg(shards.to_string())
+                .arg("--wal")
+                .arg(shard_wal_path(id, i))
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| CliError::io(format!("spawning shard {i}/{shards}: {e}")))?;
+            children.push((i, child));
+        }
+        for (i, mut child) in children {
+            let status = child
+                .wait()
+                .map_err(|e| CliError::io(format!("waiting for shard {i}/{shards}: {e}")))?;
+            // Exit 3 (degraded) still writes a complete WAL; the merged
+            // summary reports the degradation honestly.
+            if !matches!(status.code(), Some(0 | 3)) {
+                return Err(CliError::campaign(format!(
+                    "shard {i}/{shards} failed with {status}"
+                )));
+            }
+            say(conn, &format!("progress {id} shard {i}/{shards} done"));
+        }
+        Ok(())
+    }
+}

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 /// Recall of crash prediction: of the injections that *did* crash, how many
 /// did the model flag as crash bits?
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecallReport {
     /// Crashing runs the model predicted.
     pub true_positives: usize,

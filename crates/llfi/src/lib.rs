@@ -43,6 +43,7 @@
 mod accuracy;
 mod campaign;
 mod sampler;
+mod shard;
 mod site;
 mod stats;
 mod supervise;
@@ -52,16 +53,18 @@ pub use accuracy::{
     precision_study, predicted_crash_specs, recall_study, PrecisionReport, RecallReport,
 };
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignError, CampaignResult, InjOutcome, OutputCompare,
-    QuarantineRecord,
+    Campaign, CampaignConfig, CampaignError, CampaignResult, GoldenArtifacts, InjOutcome,
+    OutputCompare, QuarantineRecord,
 };
 pub use sampler::{
     AdaptiveSampler, RateEstimate, RoundInfo, SampledCampaign, SamplerConfig, StratumReport,
 };
+pub use shard::{CampaignAggregate, MergeError, ShardOutcomes, ShardSpec, StratumTally};
 pub use site::{injectable_operand, InjectionSite, SiteTable};
 pub use stats::{ci95, clopper_pearson95, clopper_pearson_f, geomean, mean, wilson95_f};
 pub use supervise::RunSession;
 pub use wal::{
-    wal_fingerprint, wal_fingerprint_adaptive, wal_fingerprint_adaptive_model,
-    wal_fingerprint_model, RecoveredWal, WalError, WalSink, WAL_MAGIC,
+    read_wal_fingerprint, wal_fingerprint, wal_fingerprint_adaptive,
+    wal_fingerprint_adaptive_model, wal_fingerprint_model, wal_fingerprint_shard, RecoveredWal,
+    WalError, WalSink, WAL_MAGIC,
 };

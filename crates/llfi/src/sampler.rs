@@ -595,6 +595,7 @@ impl Campaign<'_> {
                     .collect(),
                 wal: session.wal,
                 index_base: base,
+                index_stride: 1,
                 quiet: true,
             };
             fresh_runs += (specs.len() - sub.recovered.len()) as u64;

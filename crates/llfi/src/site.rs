@@ -100,13 +100,19 @@ impl SiteTable {
     /// the table. Sites are in trace order with slots ascending, so this is
     /// a binary search.
     pub fn width_of(&self, dyn_idx: u64, slot: usize) -> Option<u32> {
+        self.site_of(dyn_idx, slot).map(|s| s.width)
+    }
+
+    /// The site at `(dyn_idx, slot)`, if it is in the table (binary search
+    /// over the trace order) — used to classify arbitrary specs into their
+    /// strata when aggregating shard results.
+    pub fn site_of(&self, dyn_idx: u64, slot: usize) -> Option<&InjectionSite> {
         let i = self
             .sites
             .partition_point(|s| (s.dyn_idx, s.slot) < (dyn_idx, slot));
         self.sites
             .get(i)
             .filter(|s| s.dyn_idx == dyn_idx && s.slot == slot)
-            .map(|s| s.width)
     }
 
     /// Number of sites.

@@ -60,7 +60,7 @@ fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 /// recovered from a write-ahead log (their specs are skipped, not
 /// re-executed) and an optional live WAL sink that records fresh
 /// completions for a later resume.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RunSession<'w> {
     /// `spec-list index -> outcome` salvaged by
     /// [`WalSink::recover`](crate::WalSink::recover); prefilled into the
@@ -75,8 +75,36 @@ pub struct RunSession<'w> {
     /// of runs already executed in earlier rounds, so one WAL spans the
     /// whole multi-round campaign with globally unique indices.
     pub index_base: usize,
+    /// Stride between consecutive local specs' global WAL indices
+    /// (default 1). A campaign shard `i` of `S` runs the strided slice
+    /// `i, i+S, i+2S, …` of the full draw order; setting `index_base = i`
+    /// and `index_stride = S` makes its WAL records carry the *global*
+    /// draw index `i + k·S` for the shard's `k`-th spec, so `epvf merge`
+    /// can union shard WALs without any per-shard remapping.
+    pub index_stride: usize,
     /// Suppress this run's own progress line (the caller drives one).
     pub quiet: bool,
+}
+
+impl Default for RunSession<'_> {
+    fn default() -> Self {
+        RunSession {
+            recovered: BTreeMap::new(),
+            wal: None,
+            index_base: 0,
+            index_stride: 1,
+            quiet: false,
+        }
+    }
+}
+
+impl RunSession<'_> {
+    /// Global WAL index of the `local`-th spec in the list being run
+    /// (`index_base + local × index_stride`; a stride of 0 is treated
+    /// as 1).
+    pub fn global_index(&self, local: usize) -> usize {
+        self.index_base + local * self.index_stride.max(1)
+    }
 }
 
 impl Campaign<'_> {

@@ -120,6 +120,55 @@ fn model_domain(base: u64, model_name: &str) -> u64 {
     h.0
 }
 
+/// Mix a shard's partition coordinates into a campaign fingerprint. The
+/// whole-campaign partition (`of <= 1`) is the **identity** — a 1-way
+/// shard WAL is interchangeable with a plain `epvf inject --wal` log.
+/// Real partitions append a `0xfb` domain separator plus `(index, of)`,
+/// so a shard's WAL can never be resumed under a different `--index`
+/// or `--of` (where its global record indices would map onto different
+/// runs) and `epvf merge` can identify which shard a log belongs to by
+/// trying each candidate `(i, of)` against the header.
+pub fn wal_fingerprint_shard(base: u64, index: usize, of: usize) -> u64 {
+    if of <= 1 {
+        return base;
+    }
+    let mut h = Fnv64(base);
+    h.update(&[0xfb]);
+    h.update(&(index as u64).to_le_bytes());
+    h.update(&(of as u64).to_le_bytes());
+    h.0
+}
+
+/// Read just the fingerprint from a WAL header without recovering the
+/// records — how `epvf merge` matches each input file to its shard.
+///
+/// # Errors
+/// [`WalError::BadMagic`] / [`WalError::TruncatedHeader`] for files that
+/// are not WALs, [`WalError::Io`] on filesystem failures.
+pub fn read_wal_fingerprint(path: &Path) -> Result<u64, WalError> {
+    let mut head = [0u8; 16];
+    let mut file = File::open(path)?;
+    let mut got = 0;
+    while got < head.len() {
+        let n = file.read(&mut head[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    if got < head.len() {
+        return Err(if head[..got.min(8)] == WAL_MAGIC[..got.min(8)] {
+            WalError::TruncatedHeader
+        } else {
+            WalError::BadMagic
+        });
+    }
+    if &head[..8] != WAL_MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    Ok(u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")))
+}
+
 /// Fingerprint of one *adaptive* campaign invocation. An adaptive
 /// campaign's spec list is not known upfront (each round's allocation
 /// depends on earlier outcomes), but it **is** a pure function of the
@@ -731,6 +780,40 @@ mod tests {
             wal_fingerprint_adaptive_model("m", "main", &[4], 0.05, 10, 10, 100, 7, "skip"),
             abase
         );
+    }
+
+    #[test]
+    fn shard_fingerprint_is_identity_for_whole_and_disjoint_per_partition() {
+        let base = 0x1234_5678_9abc_def0u64;
+        assert_eq!(wal_fingerprint_shard(base, 0, 1), base);
+        assert_eq!(wal_fingerprint_shard(base, 0, 0), base);
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(base);
+        for of in 2..=7usize {
+            for index in 0..of {
+                assert!(
+                    seen.insert(wal_fingerprint_shard(base, index, of)),
+                    "shard {index}/{of} collides"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_wal_fingerprint_reads_headers_and_rejects_junk() {
+        let p = scratch("readfp.wal");
+        let sink = WalSink::create(&p, 0xfeed).unwrap();
+        sink.append(0, spec(1, 0, 0), InjOutcome::Benign);
+        sink.flush();
+        drop(sink);
+        assert_eq!(read_wal_fingerprint(&p).unwrap(), 0xfeed);
+        std::fs::write(&p, b"not a wal").unwrap();
+        assert!(matches!(read_wal_fingerprint(&p), Err(WalError::BadMagic)));
+        std::fs::write(&p, &WAL_MAGIC[..6]).unwrap();
+        assert!(matches!(
+            read_wal_fingerprint(&p),
+            Err(WalError::TruncatedHeader)
+        ));
     }
 
     #[test]

@@ -202,6 +202,17 @@ impl MetricsSnapshot {
                 c("llfi.campaign.runs_total")
             ),
         );
+        law(
+            // Every serve campaign resolves its golden artifacts exactly
+            // once: from the cache or by a fresh golden run.
+            c("serve.cache.hits") + c("serve.cache.misses") == c("serve.campaigns"),
+            format!(
+                "serve cache hits ({}) + misses ({}) must equal campaigns served ({})",
+                c("serve.cache.hits"),
+                c("serve.cache.misses"),
+                c("serve.campaigns")
+            ),
+        );
         let confusion = c("oracle.diff.true_positives")
             + c("oracle.diff.false_positives")
             + c("oracle.diff.false_negatives")
