@@ -21,7 +21,8 @@
 //! function with no arguments.
 
 use epvf_core::{
-    analyze, parse_fault_model, per_instruction_scores, AceConfig, EpvfConfig, FaultModel,
+    analyze, analyze_compositional, analyze_threaded, parse_fault_model, per_instruction_scores,
+    AceConfig, EpvfConfig, FaultModel, SectionCache,
 };
 use epvf_interp::{ExecConfig, Interpreter};
 use epvf_ir::{parse_module, Module};
@@ -327,6 +328,13 @@ usage: epvf <command> [args]
   dump <target>                print textual IR
   run <target>                 golden run summary
   analyze <target>             PVF / ePVF metrics
+    --section-cache DIR        compositional analysis with a persistent
+                               per-section summary cache in DIR: a warm
+                               re-analysis replays unchanged sections in
+                               O(diff) and prints hit/miss stats; results
+                               are byte-identical to the monolithic pass
+    --threads T                parallelize the propagation model (without
+                               --section-cache); results are identical
   inject <target> [N] [SEED]   fault-injection campaign (default 1000, 42)
     --ckpt-interval K          replay checkpoint spacing in dyn insts
                                (0 = full from-scratch replays; default auto)
@@ -387,6 +395,10 @@ usage: epvf <command> [args]
                                tables and checkpoints are cached across
                                requests; --shards S multiplexes S `epvf
                                shard` worker processes and merges them)
+    --section-cache DIR        persist per-section analysis summaries in
+                               DIR; without it they are still shared
+                               in-memory across requests, so analyses of
+                               similar modules replay common sections
   oracle <target>              exhaustive bit-flip oracle vs crash model
     --workload NAME            alternative way to name the target
     --limit N                  subsample the sweep to ~N runs (0 = all)
@@ -515,7 +527,28 @@ fn cmd_run(t: Target, _rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), CliError> {
+fn cmd_analyze(t: Target, rest: &[String]) -> Result<(), CliError> {
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{what} needs a value")))
+        };
+        let bad = |what: &str| CliError::usage(format!("bad {what}"));
+        match a.as_str() {
+            "--section-cache" => cache_dir = Some(value("--section-cache")?.into()),
+            "--threads" => {
+                let n: usize = value("--threads")?.parse().map_err(|_| bad("--threads"))?;
+                threads = Some(n.max(1));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown flag `{flag}`")))
+            }
+            extra => return Err(CliError::usage(format!("unexpected argument `{extra}`"))),
+        }
+    }
     let golden = Interpreter::new(&t.module, ExecConfig::default())
         .golden_run(Workload::ENTRY, &t.args)
         .map_err(CliError::campaign)?;
@@ -523,7 +556,23 @@ fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), CliError> {
         .trace
         .as_ref()
         .ok_or_else(|| CliError::campaign("golden run produced no trace"))?;
-    let res = analyze(&t.module, trace, EpvfConfig::default());
+    let config = EpvfConfig::default();
+    // `--section-cache` switches to the compositional engine (which is
+    // serial per section but O(diff) on a warm cache); otherwise
+    // `--threads` parallelizes the monolithic propagation pass. Both
+    // produce byte-identical metrics to the default serial analysis.
+    let mut cache =
+        match &cache_dir {
+            Some(dir) => Some(SectionCache::persistent(dir).map_err(|e| {
+                CliError::io(format!("opening section cache {}: {e}", dir.display()))
+            })?),
+            None => None,
+        };
+    let res = match (&mut cache, threads) {
+        (Some(cache), _) => analyze_compositional(&t.module, trace, config, cache),
+        (None, Some(n)) => analyze_threaded(&t.module, trace, config, n),
+        (None, None) => analyze(&t.module, trace, config),
+    };
     let m = &res.metrics;
     println!("target        : {}", t.label);
     println!("dyn IR insts  : {}", m.dyn_insts);
@@ -541,6 +590,13 @@ fn cmd_analyze(t: Target, _rest: &[String]) -> Result<(), CliError> {
         m.graph_time.as_secs_f64() * 1e3,
         m.model_time.as_secs_f64() * 1e3
     );
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        println!(
+            "section cache : {} hits / {} misses of {} sections",
+            s.hits, s.misses, s.sections
+        );
+    }
     Ok(())
 }
 

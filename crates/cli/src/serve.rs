@@ -11,6 +11,7 @@
 //!                                       -> queued <id>
 //!                                          start <id>
 //!                                          cache <id> hit|miss
+//!                                          [sections <id> <hits> <misses>]
 //!                                          [progress <id> ...]
 //!                                          out <id> <summary line>...
 //!                                          done <id>   (or: error <id> <msg>)
@@ -21,10 +22,14 @@
 //! model's site table, and the replay checkpoints — is cached across
 //! requests keyed on `(module text, entry, args, fault model, checkpoint
 //! interval)`, so a repeated spec costs only the injections themselves
-//! (`serve.cache.hits` / `serve.cache.misses` count the split). With
-//! `--shards S`, the daemon multiplexes `S` `epvf shard` worker processes
-//! over temporary WALs and folds them back with the same merge path as
-//! `epvf merge`.
+//! (`serve.cache.hits` / `serve.cache.misses` count the split). The ePVF
+//! analysis on a miss runs compositionally against a section cache shared
+//! across *all* requests (persisted with `--section-cache DIR`), so two
+//! different modules that share function bodies or loop nests replay the
+//! common sections instead of re-propagating them; each miss reports its
+//! share as `sections <id> <hits> <misses>`. With `--shards S`, the
+//! daemon multiplexes `S` `epvf shard` worker processes over temporary
+//! WALs and folds them back with the same merge path as `epvf merge`.
 
 use crate::CliError;
 
@@ -44,7 +49,7 @@ pub(crate) fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
 #[cfg(unix)]
 mod unix {
     use crate::{parse_inject_opts, resolve, sharding, summary, CliError};
-    use epvf_core::{analyze, EpvfConfig, EpvfResult, FaultModel};
+    use epvf_core::{analyze_compositional, EpvfConfig, EpvfResult, FaultModel, SectionCache};
     use epvf_ir::Module;
     use epvf_llfi::{Campaign, CampaignAggregate, GoldenArtifacts};
     use epvf_telemetry::{add, Ctr};
@@ -94,6 +99,7 @@ mod unix {
 
     pub(super) fn serve(rest: &[String]) -> Result<(), CliError> {
         let mut socket: Option<PathBuf> = None;
+        let mut section_dir: Option<PathBuf> = None;
         let mut it = rest.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -101,6 +107,13 @@ mod unix {
                     socket = Some(
                         it.next()
                             .ok_or_else(|| CliError::usage("--socket needs a path"))?
+                            .into(),
+                    )
+                }
+                "--section-cache" => {
+                    section_dir = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("--section-cache needs a path"))?
                             .into(),
                     )
                 }
@@ -132,6 +145,16 @@ mod unix {
         drop(tx);
 
         let mut cache: HashMap<u64, CacheEntry> = HashMap::new();
+        // Section summaries from one request's analysis replay into any
+        // later request whose module shares sections — finer-grained reuse
+        // than the whole-artifact golden cache. In-memory unless
+        // `--section-cache DIR` persists it across daemon restarts.
+        let mut sections = match &section_dir {
+            Some(dir) => SectionCache::persistent(dir).map_err(|e| {
+                CliError::io(format!("opening section cache {}: {e}", dir.display()))
+            })?,
+            None => SectionCache::in_memory(),
+        };
         for job in rx {
             match job {
                 Job::Shutdown { conn } => {
@@ -140,7 +163,7 @@ mod unix {
                 }
                 Job::Run { id, tokens, conn } => {
                     say(&conn, &format!("start {id}"));
-                    match handle_run(id, &tokens, &conn, &mut cache) {
+                    match handle_run(id, &tokens, &conn, &mut cache, &mut sections) {
                         Ok(()) => say(&conn, &format!("done {id}")),
                         Err(e) => say(
                             &conn,
@@ -205,6 +228,7 @@ mod unix {
         tokens: &[String],
         conn: &Conn,
         cache: &mut HashMap<u64, CacheEntry>,
+        sections: &mut SectionCache,
     ) -> Result<(), CliError> {
         let (spec, rest) = tokens
             .split_first()
@@ -266,7 +290,21 @@ mod unix {
                     .trace
                     .as_ref()
                     .ok_or_else(|| CliError::campaign("golden run produced no trace"))?;
-                let res = analyze(&t.module, trace, EpvfConfig::default());
+                // Compositional, so a fresh module still replays any
+                // sections it shares with previously analyzed ones; the
+                // `sections` line reports this request's share of the
+                // hit/miss split.
+                let before = sections.stats();
+                let res = analyze_compositional(&t.module, trace, EpvfConfig::default(), sections);
+                let after = sections.stats();
+                say(
+                    conn,
+                    &format!(
+                        "sections {id} {} {}",
+                        after.hits - before.hits,
+                        after.misses - before.misses
+                    ),
+                );
                 let artifacts = campaign.artifacts();
                 drop(campaign);
                 v.insert(CacheEntry {

@@ -1,0 +1,514 @@
+//! The compositional analysis engine (FastFlip direction).
+//!
+//! [`analyze_compositional`] produces the *same* result as [`crate::analyze`]
+//! but runs the crash/propagation model one **section run** at a time — a
+//! maximal contiguous stretch of the trace inside one static section
+//! ([`epvf_ir::SectionMap`]) — and memoizes each run's net effect in a
+//! [`SectionCache`].
+//!
+//! Two facts make the composition exact rather than approximate:
+//!
+//! 1. **Equality by construction (cold).** The monolithic pass processes
+//!    accesses in trace order and fully drains its worklist per access, so
+//!    splitting the trace into consecutive per-section ranges that share one
+//!    `CrashMap` executes the identical sequence of map operations. A cold
+//!    composed analysis *is* the monolithic analysis.
+//! 2. **Exact replay (warm).** A section run's summary is keyed by a
+//!    fingerprint of everything the pass reads: the section's instruction
+//!    content, the backward-closure's structure and runtime contents
+//!    (encoded by *discovery order*, never by absolute ids), the boundary
+//!    ranges of its access roots, and the live-in constraints on every
+//!    closure node and use. A hit therefore guarantees the recomputation
+//!    would write exactly the recorded final constraints, so replay assigns
+//!    them directly — O(summary) instead of O(walk). Any doubt hashes
+//!    differently and misses; misses merely recompute.
+
+use crate::crash_model::check_boundary;
+use crate::epvf::{compute_metrics, EpvfConfig, EpvfResult};
+use crate::propagation::{run_over, CrashMap, CrashScope, InstIndex, PropSink, TouchSet};
+use crate::section_cache::{OpTarget, SectionCache, SummaryOp, SECT_VERSION};
+use epvf_ddg::{build_ddg, AceGraph, Ddg, NodeId, NodeKind};
+use epvf_interp::{section_runs, DynInst, Trace};
+use epvf_ir::{Module, SectionMap};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a/64 accumulator for cache keys.
+struct Key(u64);
+
+impl Key {
+    fn new() -> Key {
+        Key(FNV64_OFFSET)
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 = (self.0 ^ u64::from(x)).wrapping_mul(FNV64_PRIME);
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn opt_constraint(&mut self, c: Option<&crate::propagation::Constraint>) {
+        match c {
+            None => self.u8(0),
+            Some(c) => {
+                self.u8(1);
+                self.u64(c.range.lo);
+                self.u64(c.range.hi);
+                self.u64(c.value);
+                self.u32(c.width);
+            }
+        }
+    }
+}
+
+impl fmt::Write for Key {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Per-sid FNV-1a/64 of each static instruction's textual form (the
+/// function-local rendering, so it is position-independent across modules).
+fn sid_text_hashes(module: &Module) -> Vec<u64> {
+    use fmt::Write as _;
+    let mut out = vec![0u64; module.n_static_insts as usize];
+    for f in &module.functions {
+        for inst in f.insts() {
+            let mut k = Key::new();
+            let _ = write!(k, "{inst}");
+            if inst.sid.index() >= out.len() {
+                out.resize(inst.sid.index() + 1, 0);
+            }
+            out[inst.sid.index()] = k.0;
+        }
+    }
+    out
+}
+
+/// Run the complete ePVF methodology compositionally, reusing `cache`.
+///
+/// Produces a result equal to [`crate::analyze`] on the same inputs — the
+/// differential suite in `epvf-oracle` enforces full `CrashMap` equality —
+/// while a warm cache skips the propagation walk for unchanged sections.
+///
+/// The model phase is serial by construction (section runs are processed in
+/// trace order over one shared map); thread-count options in `config.crash`
+/// are ignored here, exactly as they are by the serial monolithic path.
+pub fn analyze_compositional(
+    module: &Module,
+    trace: &Trace,
+    config: EpvfConfig,
+    cache: &mut SectionCache,
+) -> EpvfResult {
+    epvf_telemetry::add(epvf_telemetry::Ctr::CoreAnalyses, 1);
+    epvf_telemetry::add(epvf_telemetry::Ctr::CoreTraceLen, trace.len() as u64);
+    let t0 = Instant::now();
+    let ddg = build_ddg(module, trace);
+    let ace = AceGraph::compute(&ddg, config.ace);
+    let graph_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let crash_map = {
+        let _span = epvf_telemetry::span(epvf_telemetry::Tmr::CorePropagate);
+        compose_model(module, trace, &ddg, &ace, config, cache)
+    };
+    let model_time = t1.elapsed();
+
+    let metrics = compute_metrics(
+        module, trace, &ddg, &ace, &crash_map, graph_time, model_time,
+    );
+    EpvfResult {
+        ddg,
+        ace,
+        crash_map,
+        metrics,
+    }
+}
+
+fn compose_model(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    ace: &AceGraph,
+    config: EpvfConfig,
+    cache: &mut SectionCache,
+) -> CrashMap {
+    let sections = SectionMap::build(module);
+    let runs = section_runs(trace, |sid| sections.section_of(sid));
+    let index = InstIndex::new(module);
+    let sid_hash = sid_text_hashes(module);
+    let mut map = CrashMap::default();
+
+    for run in runs {
+        // Access roots of this run — the same filter the monolithic pass
+        // applies per record. Runs without roots are no-ops in both engines
+        // and are skipped without touching the cache (so `sections` counts
+        // only runs that resolve via hit or miss).
+        let mut roots: Vec<(u64, NodeId)> = Vec::new();
+        for idx in run.start..run.end {
+            let rec = trace.get(idx).expect("record in run");
+            if rec.mem.is_none() {
+                continue;
+            }
+            let Some(def) = ddg.def_of_record(idx) else {
+                continue;
+            };
+            if config.scope == CrashScope::AceOnly && !ace.contains(def) {
+                continue;
+            }
+            roots.push((idx, def));
+        }
+        if roots.is_empty() {
+            continue;
+        }
+
+        let order = ddg.backward_closure_ordered(roots.iter().map(|&(_, n)| n));
+        let pos: HashMap<NodeId, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let key = section_key(
+            module,
+            trace,
+            ddg,
+            &map,
+            config,
+            sections.sections()[run.section as usize].content_hash,
+            &roots,
+            &order,
+            &pos,
+            &sid_hash,
+        );
+
+        if let Some(ops) = cache.lookup(key) {
+            // Replay: the key guarantees recomputation would produce
+            // exactly these final constraints — assign them directly.
+            for op in ops.iter() {
+                let node = order[op.target as usize];
+                match op.kind {
+                    OpTarget::Node => map.set_node(node, op.constraint),
+                    OpTarget::Use => {
+                        let rec_idx = ddg
+                            .node(node)
+                            .def_record
+                            .expect("use summary targets a defining record");
+                        map.set_use(rec_idx, op.slot as usize, op.constraint);
+                    }
+                }
+            }
+        } else {
+            let mut touched = TouchSet::default();
+            run_over(
+                module,
+                trace,
+                ddg,
+                ace,
+                config.crash,
+                config.scope,
+                &index,
+                &mut PropSink {
+                    map: &mut map,
+                    touched: Some(&mut touched),
+                },
+                run.start..run.end,
+            );
+            if let Some(ops) = encode_summary_ops(ddg, &map, &touched, &order, &pos) {
+                cache.store(key, ops);
+            }
+        }
+    }
+    map
+}
+
+/// Translate a recomputed run's touched keys into discovery-referenced
+/// [`SummaryOp`]s. `None` if any touched key falls outside the closure
+/// (cannot happen for the current walk, which only writes closure members —
+/// but an unencodable run is simply not cached rather than miscached).
+fn encode_summary_ops(
+    ddg: &Ddg,
+    map: &CrashMap,
+    touched: &TouchSet,
+    order: &[NodeId],
+    pos: &HashMap<NodeId, u32>,
+) -> Option<Vec<SummaryOp>> {
+    // def_record → discovery ref, for use keys.
+    let mut rec_ref: HashMap<u64, u32> = HashMap::new();
+    for (i, &n) in order.iter().enumerate() {
+        if let Some(r) = ddg.node(n).def_record {
+            rec_ref.entry(r).or_insert(i as u32);
+        }
+    }
+    let mut ops = Vec::with_capacity(touched.uses.len() + touched.nodes.len());
+    for &(dyn_idx, slot) in &touched.uses {
+        let target = *rec_ref.get(&dyn_idx)?;
+        ops.push(SummaryOp {
+            kind: OpTarget::Use,
+            target,
+            slot: slot as u32,
+            constraint: *map
+                .use_constraint(dyn_idx, slot)
+                .expect("touched use has a constraint"),
+        });
+    }
+    for &node in &touched.nodes {
+        let target = *pos.get(&node)?;
+        ops.push(SummaryOp {
+            kind: OpTarget::Node,
+            target,
+            slot: 0,
+            constraint: *map
+                .node_constraint(node)
+                .expect("touched node has a constraint"),
+        });
+    }
+    // Deterministic byte layout regardless of hash-set iteration order.
+    ops.sort_by_key(|o| (o.kind, o.target, o.slot));
+    Some(ops)
+}
+
+/// Fingerprint everything the propagation pass reads for one section run.
+#[allow(clippy::too_many_arguments)]
+fn section_key(
+    module: &Module,
+    trace: &Trace,
+    ddg: &Ddg,
+    map: &CrashMap,
+    config: EpvfConfig,
+    content_hash: u64,
+    roots: &[(u64, NodeId)],
+    order: &[NodeId],
+    pos: &HashMap<NodeId, u32>,
+    sid_hash: &[u64],
+) -> u64 {
+    let mut k = Key::new();
+    k.u32(SECT_VERSION);
+    // Config knobs that change the pass's semantics. Thread counts and the
+    // parallel cutoff are deliberately excluded: they never affect the
+    // serial walk, so caches are shared across `--threads` settings.
+    k.u8(config.ace.include_control as u8);
+    k.u8(config.crash.stack_rule as u8);
+    k.u64(config.crash.stack_limit);
+    k.u8(match config.scope {
+        CrashScope::AceOnly => 0,
+        CrashScope::AllAccesses => 1,
+    });
+    // Static half: the section's instruction content.
+    k.u64(content_hash);
+
+    // Roots in trace order: the boundary range each access contributes
+    // (hashing the *range* folds the whole memory-map snapshot and stack
+    // rule into eight bytes) plus the address operand's runtime state.
+    k.u32(roots.len() as u32);
+    for &(idx, def) in roots {
+        let rec = trace.get(idx).expect("root record");
+        let mem = rec.mem.as_ref().expect("root has access");
+        k.u32(pos[&def]);
+        let range = check_boundary(mem, config.crash);
+        k.u64(range.lo);
+        k.u64(range.hi);
+        k.u8(mem.is_store as u8);
+        let addr_slot = if mem.is_store { 1 } else { 0 };
+        let addr_op = &rec.operands[addr_slot];
+        k.u64(addr_op.bits);
+        k.u8(addr_op.src.is_some() as u8);
+    }
+
+    // Dynamic half: the backward closure in discovery order — structure,
+    // runtime contents, and live-in constraints (nodes AND uses, because a
+    // replay assigns final values directly and so must be certain of the
+    // pre-state it composes with).
+    k.u32(order.len() as u32);
+    for &n in order {
+        let node = ddg.node(n);
+        k.u8(match node.kind {
+            NodeKind::Reg(_) => 0,     // dynamic ids are positional; the
+            NodeKind::Mem { .. } => 1, // discovery encoding below replaces them
+            NodeKind::External => 2,
+        });
+        k.u32(node.bits);
+        k.u32(node.deps.len() as u32);
+        for &(d, kind) in &node.deps {
+            k.u32(pos[&d]);
+            k.u8(match kind {
+                epvf_ddg::EdgeKind::Data => 0,
+                epvf_ddg::EdgeKind::Addr => 1,
+            });
+        }
+        k.opt_constraint(map.node_constraint(n));
+        match node.def_record {
+            None => k.u8(0),
+            Some(rec_idx) => {
+                k.u8(1);
+                let rec = trace.get(rec_idx).expect("def record");
+                k.u64(sid_hash[rec.sid.index()]);
+                hash_record(&mut k, module, ddg, map, pos, n, rec);
+            }
+        }
+    }
+    k.0
+}
+
+/// Fold one closure record's runtime state into the key: result bits,
+/// per-operand runtime values / widths / dependency matches, memory-access
+/// coordinates, and live-in use constraints.
+#[allow(clippy::too_many_arguments)]
+fn hash_record(
+    k: &mut Key,
+    module: &Module,
+    ddg: &Ddg,
+    map: &CrashMap,
+    pos: &HashMap<NodeId, u32>,
+    n: NodeId,
+    rec: &DynInst,
+) {
+    match rec.result {
+        None => k.u8(0),
+        Some((_, bits, _)) => {
+            k.u8(1);
+            k.u64(bits);
+        }
+    }
+    k.u32(rec.operands.len() as u32);
+    for (slot, op) in rec.operands.iter().enumerate() {
+        k.u64(op.bits);
+        k.u32(crate::propagation::operand_width(module, rec, op.value));
+        // Which dependency of `n` carries this operand's dynamic value —
+        // the position-independent form of the walk's DynValueId matching.
+        let matched = op.src.and_then(|src| {
+            ddg.node(n).deps.iter().find_map(|&(d, _)| {
+                matches!(ddg.node(d).kind, NodeKind::Reg(dv) if dv == src).then_some(d)
+            })
+        });
+        match matched {
+            // A matched dep of a closure node is itself in the closure
+            // (closures are dep-complete), so `pos` is total here.
+            Some(d) => k.u32(pos[&d]),
+            None => k.u32(u32::MAX),
+        }
+        k.opt_constraint(map.use_constraint(rec.idx, slot));
+    }
+    match rec.mem.as_ref() {
+        None => k.u8(0),
+        Some(m) => {
+            k.u8(1);
+            k.u64(m.addr);
+            k.u64(m.size);
+            k.u8(m.is_store as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epvf_interp::{ExecConfig, Interpreter};
+    use epvf_ir::{IcmpPred, ModuleBuilder, Type, Value};
+
+    /// A loop kernel storing through computed addresses (same shape as the
+    /// `epvf` module's test kernel).
+    fn kernel(n: i32, mult: i32) -> (Module, Trace) {
+        let mut mb = ModuleBuilder::new("k");
+        let mut f = mb.function("main", vec![], None);
+        let arr = f.malloc(Value::i64(4 * 64));
+        let entry = f.current_block();
+        let header = f.create_block("h");
+        let body = f.create_block("b");
+        let exit = f.create_block("e");
+        f.br(header);
+        f.switch_to(header);
+        let i = f.phi(Type::I32, vec![(entry, Value::i32(0))]);
+        let c = f.icmp(IcmpPred::Slt, Type::I32, i, Value::i32(n));
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let v = f.mul(Type::I32, i, Value::i32(mult));
+        let slot = f.gep(arr, i, 4);
+        f.store(Type::I32, v, slot);
+        let back = f.load(Type::I32, slot);
+        f.output(Type::I32, back);
+        let i2 = f.add(Type::I32, i, Value::i32(1));
+        f.add_incoming(i, body, i2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish().expect("verifies");
+        let r = Interpreter::new(&m, ExecConfig::default())
+            .golden_run("main", &[])
+            .expect("runs");
+        let t = r.trace.expect("trace");
+        (m, t)
+    }
+
+    #[test]
+    fn composed_equals_monolithic_cold() {
+        let (m, t) = kernel(12, 3);
+        let mono = crate::analyze(&m, &t, EpvfConfig::default());
+        let mut cache = SectionCache::in_memory();
+        let comp = analyze_compositional(&m, &t, EpvfConfig::default(), &mut cache);
+        assert_eq!(mono.crash_map, comp.crash_map);
+        assert_eq!(mono.metrics.epvf, comp.metrics.epvf);
+        assert_eq!(mono.metrics.pvf, comp.metrics.pvf);
+        assert_eq!(mono.metrics.use_crash_bits, comp.metrics.use_crash_bits);
+        let s = cache.stats();
+        assert!(s.sections > 0);
+        assert_eq!(s.hits + s.misses, s.sections);
+    }
+
+    #[test]
+    fn warm_cache_hits_everything_and_replays_exactly() {
+        let (m, t) = kernel(12, 3);
+        let mut cache = SectionCache::in_memory();
+        let cold = analyze_compositional(&m, &t, EpvfConfig::default(), &mut cache);
+        let cold_stats = cache.stats();
+        assert_eq!(cold_stats.hits, 0, "first run is all misses");
+        let warm = analyze_compositional(&m, &t, EpvfConfig::default(), &mut cache);
+        let s = cache.stats();
+        assert_eq!(s.misses, cold_stats.misses, "second run recomputes nothing");
+        assert_eq!(s.hits, cold_stats.sections, "second run hits every section");
+        assert_eq!(cold.crash_map, warm.crash_map);
+    }
+
+    #[test]
+    fn scope_and_config_partition_the_cache() {
+        let (m, t) = kernel(12, 3);
+        let mut cache = SectionCache::in_memory();
+        let _ = analyze_compositional(&m, &t, EpvfConfig::default(), &mut cache);
+        let after_default = cache.stats();
+        let all = EpvfConfig {
+            scope: CrashScope::AllAccesses,
+            ..EpvfConfig::default()
+        };
+        let comp = analyze_compositional(&m, &t, all, &mut cache);
+        let s = cache.stats();
+        assert_eq!(
+            s.hits, after_default.hits,
+            "a different scope never reuses AceOnly summaries"
+        );
+        let mono = crate::analyze(&m, &t, all);
+        assert_eq!(mono.crash_map, comp.crash_map);
+    }
+
+    #[test]
+    fn different_trace_lengths_do_not_cross_contaminate() {
+        let (m12, t12) = kernel(12, 3);
+        let (m20, t20) = kernel(20, 3);
+        let mut cache = SectionCache::in_memory();
+        let _ = analyze_compositional(&m12, &t12, EpvfConfig::default(), &mut cache);
+        let comp = analyze_compositional(&m20, &t20, EpvfConfig::default(), &mut cache);
+        let mono = crate::analyze(&m20, &t20, EpvfConfig::default());
+        assert_eq!(mono.crash_map, comp.crash_map);
+    }
+}

@@ -49,6 +49,7 @@
 
 mod census;
 mod classify;
+mod compose;
 mod crash_model;
 mod epvf;
 mod fault_model;
@@ -56,11 +57,15 @@ mod per_inst;
 mod propagation;
 mod range;
 mod sampling;
+mod section_cache;
 
 pub use census::{bit_census, BitCensus, CensusRow};
 pub use classify::{BitBand, OpClass, OpClassTable, OperandKind, SiteClass};
+pub use compose::analyze_compositional;
 pub use crash_model::{check_boundary, CrashModelConfig};
-pub use epvf::{analyze, compute_metrics, trace_use_bits, EpvfConfig, EpvfMetrics, EpvfResult};
+pub use epvf::{
+    analyze, analyze_threaded, compute_metrics, trace_use_bits, EpvfConfig, EpvfMetrics, EpvfResult,
+};
 pub use fault_model::{
     default_fault_model, injectable_operand, parse_fault_model, BurstFlip, EccWord, FaultCtx,
     FaultModel, InstSkip, SingleBitFlip, StoreAddr, WrongBranch, DEFAULT_ECC_WINDOW, DEFAULT_MODEL,
@@ -72,6 +77,7 @@ pub use propagation::{
 };
 pub use range::ValueRange;
 pub use sampling::{repetitiveness_variance, sampled_epvf, SamplingEstimate};
+pub use section_cache::{CacheStats, SectionCache};
 
 // Re-export the ACE layer so downstream users need only one import.
 pub use epvf_ddg::{build_ddg, build_ddg_with, AceConfig, AceGraph, Ddg, DdgConfig};

@@ -168,6 +168,17 @@ impl CrashMap {
         }
     }
 
+    /// Insert a use constraint verbatim (compositional replay: the recorded
+    /// final state of a cached section is re-applied without re-walking).
+    pub(crate) fn set_use(&mut self, dyn_idx: u64, slot: usize, c: Constraint) {
+        self.uses.insert((dyn_idx, slot), c);
+    }
+
+    /// Insert a node constraint verbatim (compositional replay).
+    pub(crate) fn set_node(&mut self, node: NodeId, c: Constraint) {
+        self.nodes.insert(node, c);
+    }
+
     /// Tighten a node constraint; returns `true` if it actually shrank.
     fn tighten_node(&mut self, node: NodeId, range: ValueRange, value: u64, width: u32) -> bool {
         let entry = self.nodes.entry(node).or_insert(Constraint {
@@ -186,13 +197,57 @@ impl CrashMap {
     }
 }
 
+/// The set of [`CrashMap`] keys a propagation pass wrote — recorded by the
+/// compositional engine so a section's net effect (final constraints on the
+/// touched keys) can be cached and replayed without re-walking.
+#[derive(Debug, Default)]
+pub(crate) struct TouchSet {
+    /// `(dynamic instruction, operand slot)` keys written.
+    pub uses: std::collections::HashSet<(u64, usize)>,
+    /// Node keys written (including no-op tightenings: the key set, not the
+    /// shrink history, is what replay needs).
+    pub nodes: std::collections::HashSet<NodeId>,
+}
+
+/// A [`CrashMap`] plus an optional touch recorder. The propagation walk
+/// writes through this so the monolithic path (no recorder) and the
+/// compositional path (recorder on) execute the identical sequence of map
+/// operations.
+pub(crate) struct PropSink<'a> {
+    pub map: &'a mut CrashMap,
+    pub touched: Option<&'a mut TouchSet>,
+}
+
+impl PropSink<'_> {
+    fn constrain_use(
+        &mut self,
+        dyn_idx: u64,
+        slot: usize,
+        range: ValueRange,
+        value: u64,
+        width: u32,
+    ) {
+        if let Some(t) = self.touched.as_deref_mut() {
+            t.uses.insert((dyn_idx, slot));
+        }
+        self.map.constrain_use(dyn_idx, slot, range, value, width);
+    }
+
+    fn tighten_node(&mut self, node: NodeId, range: ValueRange, value: u64, width: u32) -> bool {
+        if let Some(t) = self.touched.as_deref_mut() {
+            t.nodes.insert(node);
+        }
+        self.map.tighten_node(node, range, value, width)
+    }
+}
+
 /// Per-static-instruction lookup used while walking the trace.
-struct InstIndex<'m> {
+pub(crate) struct InstIndex<'m> {
     by_sid: Vec<Option<&'m Inst>>,
 }
 
 impl<'m> InstIndex<'m> {
-    fn new(module: &'m Module) -> Self {
+    pub(crate) fn new(module: &'m Module) -> Self {
         let mut by_sid: Vec<Option<&'m Inst>> = vec![None; module.n_static_insts as usize];
         for f in &module.functions {
             for inst in f.insts() {
@@ -205,7 +260,7 @@ impl<'m> InstIndex<'m> {
         InstIndex { by_sid }
     }
 
-    fn get(&self, sid: StaticInstId) -> &'m Inst {
+    pub(crate) fn get(&self, sid: StaticInstId) -> &'m Inst {
         self.by_sid
             .get(sid.index())
             .copied()
@@ -214,7 +269,7 @@ impl<'m> InstIndex<'m> {
     }
 }
 
-fn operand_width(module: &Module, rec: &DynInst, v: Value) -> u32 {
+pub(crate) fn operand_width(module: &Module, rec: &DynInst, v: Value) -> u32 {
     match v {
         Value::Reg(r) => module.functions[rec.func.index()].value_types[r.index()].bits(),
         Value::ConstInt { ty, .. } | Value::ConstFloat { ty, .. } => ty.bits(),
@@ -416,7 +471,10 @@ pub fn propagate_scoped(
         config,
         scope,
         &index,
-        &mut map,
+        &mut PropSink {
+            map: &mut map,
+            touched: None,
+        },
         0..trace.len() as u64,
     );
     map
@@ -468,7 +526,10 @@ pub fn propagate_parallel(
                     config,
                     CrashScope::AceOnly,
                     index,
-                    &mut local,
+                    &mut PropSink {
+                        map: &mut local,
+                        touched: None,
+                    },
                     lo..hi,
                 );
                 local
@@ -487,8 +548,14 @@ pub fn propagate_parallel(
 }
 
 /// Algorithm 1 over the accesses whose dynamic index lies in `range_of_recs`.
+///
+/// `pub(crate)` for the compositional engine (`compose`), which runs it one
+/// section-run at a time over a shared sink: because the worklist `queue` is
+/// created locally and fully drained per access, splitting a range into
+/// consecutive sub-ranges executes the identical operation sequence — which
+/// is what makes composed-cold equal monolithic by construction.
 #[allow(clippy::too_many_arguments)]
-fn run_over(
+pub(crate) fn run_over(
     module: &Module,
     trace: &Trace,
     ddg: &Ddg,
@@ -496,7 +563,7 @@ fn run_over(
     config: CrashModelConfig,
     scope: CrashScope,
     index: &InstIndex<'_>,
-    map: &mut CrashMap,
+    sink: &mut PropSink<'_>,
     range_of_recs: std::ops::Range<u64>,
 ) {
     let mut queue: Vec<NodeId> = Vec::new();
@@ -515,18 +582,18 @@ fn run_over(
         let range = check_boundary(mem, config);
         let addr_slot = if mem.is_store { 1 } else { 0 };
         let addr_op = rec.operands[addr_slot];
-        map.constrain_use(rec.idx, addr_slot, range, addr_op.bits, 64);
+        sink.constrain_use(rec.idx, addr_slot, range, addr_op.bits, 64);
         if addr_op.src.is_some() {
             // Find the Addr-edge dependency of the access node.
             for &(dep, kind) in &ddg.node(def_node).deps {
                 if kind == EdgeKind::Addr
-                    && map.tighten_node(dep, range, addr_op.bits, ddg.node(dep).bits.max(64))
+                    && sink.tighten_node(dep, range, addr_op.bits, ddg.node(dep).bits.max(64))
                 {
                     queue.push(dep);
                 }
             }
         }
-        drain(module, trace, ddg, index, map, &mut queue);
+        drain(module, trace, ddg, index, sink, &mut queue);
     }
 }
 
@@ -537,11 +604,11 @@ fn drain(
     trace: &Trace,
     ddg: &Ddg,
     index: &InstIndex<'_>,
-    map: &mut CrashMap,
+    sink: &mut PropSink<'_>,
     queue: &mut Vec<NodeId>,
 ) {
     while let Some(node) = queue.pop() {
-        let range = match map.node_constraint(node) {
+        let range = match sink.map.node_constraint(node) {
             Some(c) => c.range,
             None => continue,
         };
@@ -576,10 +643,10 @@ fn drain(
                     continue;
                 }
                 let width = operand_width(module, store_rec, val_op.value).min(ty.bits());
-                map.constrain_use(store_idx, 0, range, val_op.bits, width);
+                sink.constrain_use(store_idx, 0, range, val_op.bits, width);
                 if let Some(src) = val_op.src {
                     if let Some(&src_node) = lookup_dyn(ddg, dep, src) {
-                        if map.tighten_node(src_node, range, val_op.bits, width) {
+                        if sink.tighten_node(src_node, range, val_op.bits, width) {
                             queue.push(src_node);
                         }
                     }
@@ -597,10 +664,10 @@ fn drain(
                 continue;
             }
             let width = operand_width(module, rec, op_rec.value);
-            map.constrain_use(rec.idx, slot, or, op_rec.bits, width);
+            sink.constrain_use(rec.idx, slot, or, op_rec.bits, width);
             // The Data dependency edge for this operand.
             if let Some(src_node) = data_dep_for_slot(ddg, node, rec, slot) {
-                if map.tighten_node(src_node, or, op_rec.bits, width) && !or.is_full() {
+                if sink.tighten_node(src_node, or, op_rec.bits, width) && !or.is_full() {
                     queue.push(src_node);
                 }
             }

@@ -158,6 +158,44 @@ impl Ddg {
         }
         out
     }
+
+    /// Deterministic backward closure of a root set: every node reachable
+    /// from any root through dependency edges, in **preorder DFS discovery
+    /// order** (roots in the given order, each node's deps in their stored
+    /// order). Two isomorphic graphs walked from corresponding roots yield
+    /// corresponding sequences, which is what lets the compositional engine
+    /// encode a closure position-independently (by discovery index rather
+    /// than by absolute [`NodeId`]).
+    pub fn backward_closure_ordered(&self, roots: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        // Preorder: visit a node at push time, then descend into its deps
+        // front-to-back (a stack of per-node dep cursors keeps it iterative).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        for root in roots {
+            if seen[root.index()] {
+                continue;
+            }
+            seen[root.index()] = true;
+            out.push(root);
+            stack.push((root, 0));
+            while let Some(&mut (n, ref mut next)) = stack.last_mut() {
+                let deps = &self.nodes[n.index()].deps;
+                if *next < deps.len() {
+                    let (d, _) = deps[*next];
+                    *next += 1;
+                    if !seen[d.index()] {
+                        seen[d.index()] = true;
+                        out.push(d);
+                        stack.push((d, 0));
+                    }
+                } else {
+                    stack.pop();
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +237,46 @@ mod tests {
         slice.sort();
         assert_eq!(slice, vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(ddg.backward_slice(NodeId(3)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn backward_closure_ordered_is_preorder_and_deduplicated() {
+        // 3 -> 1 -> 0, 3 -> 2 -> 0 (diamond); 4 isolated.
+        let ddg = Ddg {
+            nodes: vec![
+                n(NodeKind::External, 0, vec![]),
+                n(
+                    NodeKind::Reg(DynValueId(0)),
+                    32,
+                    vec![(NodeId(0), EdgeKind::Data)],
+                ),
+                n(
+                    NodeKind::Reg(DynValueId(1)),
+                    32,
+                    vec![(NodeId(0), EdgeKind::Data)],
+                ),
+                n(
+                    NodeKind::Reg(DynValueId(2)),
+                    64,
+                    vec![(NodeId(1), EdgeKind::Data), (NodeId(2), EdgeKind::Data)],
+                ),
+                n(NodeKind::Reg(DynValueId(3)), 8, vec![]),
+            ],
+            outputs: vec![],
+            controls: vec![],
+            record_def: vec![],
+        };
+        // Preorder from 3: 3, first dep chain (1, 0), then 2 (0 already seen).
+        assert_eq!(
+            ddg.backward_closure_ordered([NodeId(3)]),
+            vec![NodeId(3), NodeId(1), NodeId(0), NodeId(2)]
+        );
+        // Multiple roots: later roots only add unseen nodes.
+        assert_eq!(
+            ddg.backward_closure_ordered([NodeId(1), NodeId(3), NodeId(1)]),
+            vec![NodeId(1), NodeId(0), NodeId(3), NodeId(2)]
+        );
+        assert_eq!(ddg.backward_closure_ordered([NodeId(4)]), vec![NodeId(4)]);
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use machine::{
     MultiBitSpec, ReplayOutcome, Snapshot, DEADLINE_CHECK_STRIDE,
 };
 pub use outcome::{CrashKind, Outcome, RunResult, TimeoutKind};
-pub use trace::{DynInst, DynValueId, MemAccessRec, OperandRec, Trace};
+pub use trace::{section_runs, DynInst, DynValueId, MemAccessRec, OperandRec, SectionRun, Trace};

@@ -116,9 +116,97 @@ impl<'a> IntoIterator for &'a Trace {
     }
 }
 
+/// A maximal contiguous run of trace records belonging to one static
+/// section (see `epvf_ir::SectionMap`). Runs tile the trace: the first
+/// starts at 0, each starts where the previous ended, the last ends at
+/// `trace.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionRun {
+    /// Section ordinal (from `SectionMap::section_of`).
+    pub section: u32,
+    /// First dynamic index of the run.
+    pub start: u64,
+    /// One past the last dynamic index of the run.
+    pub end: u64,
+}
+
+/// Split a trace into [`SectionRun`]s: consecutive records whose static
+/// instructions share a section form one run. `section_of` maps a static
+/// instruction to its section ordinal (normally
+/// `|sid| map.section_of(sid)`).
+pub fn section_runs(
+    trace: &Trace,
+    mut section_of: impl FnMut(StaticInstId) -> u32,
+) -> Vec<SectionRun> {
+    let mut runs: Vec<SectionRun> = Vec::new();
+    for rec in trace.iter() {
+        let s = section_of(rec.sid);
+        match runs.last_mut() {
+            Some(run) if run.section == s => run.end = rec.idx + 1,
+            _ => runs.push(SectionRun {
+                section: s,
+                start: rec.idx,
+                end: rec.idx + 1,
+            }),
+        }
+    }
+    runs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rec(idx: u64, sid: u32) -> DynInst {
+        DynInst {
+            idx,
+            sid: StaticInstId(sid),
+            func: FuncId(0),
+            result: None,
+            operands: vec![],
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn section_runs_tile_the_trace() {
+        // sections: sid 0,1 → 0; sid 2 → 1
+        let t = Trace {
+            records: vec![rec(0, 0), rec(1, 1), rec(2, 2), rec(3, 2), rec(4, 0)],
+        };
+        let runs = section_runs(&t, |sid| if sid.index() < 2 { 0 } else { 1 });
+        assert_eq!(
+            runs,
+            vec![
+                SectionRun {
+                    section: 0,
+                    start: 0,
+                    end: 2
+                },
+                SectionRun {
+                    section: 1,
+                    start: 2,
+                    end: 4
+                },
+                SectionRun {
+                    section: 0,
+                    start: 4,
+                    end: 5
+                },
+            ]
+        );
+        // Tiling: contiguous, covering 0..len.
+        assert_eq!(runs.first().map(|r| r.start), Some(0));
+        assert_eq!(runs.last().map(|r| r.end), Some(t.len() as u64));
+        for w in runs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn section_runs_of_empty_trace() {
+        assert!(section_runs(&Trace::default(), |_| 0).is_empty());
+    }
 
     #[test]
     fn trace_container_basics() {

@@ -37,6 +37,7 @@ mod builder;
 mod inst;
 mod module;
 mod parse;
+mod section;
 mod types;
 mod value;
 pub mod verify;
@@ -45,6 +46,7 @@ pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use inst::{BinOp, CastOp, FBinOp, FUnOp, FcmpPred, IcmpPred, Inst, Op};
 pub use module::{Block, Function, Global, Module};
 pub use parse::{parse_module, ParseError};
+pub use section::{Section, SectionKind, SectionMap};
 pub use types::Type;
 pub use value::{BlockId, FuncId, GlobalId, StaticInstId, Value, ValueId};
 pub use verify::{verify_module, VerifyError};

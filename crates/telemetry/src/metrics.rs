@@ -137,6 +137,17 @@ define_counters! {
         "node constraints strictly tightened during worklist drains"),
     CrashBoundaryChecks => ("core.crash_model.boundary_checks", Sum, true,
         "CHECK_BOUNDARY evaluations against trace memory maps"),
+    // --- compositional analysis / section cache ---
+    AnalyzeCacheSections => ("analyze.cache.sections", Sum, false,
+        "section runs considered by compositional analyses"),
+    AnalyzeCacheHits => ("analyze.cache.hits", Sum, false,
+        "section runs replayed from a cached summary"),
+    AnalyzeCacheMisses => ("analyze.cache.misses", Sum, false,
+        "section runs recomputed (cold, corrupt, or changed)"),
+    AnalyzeCacheStored => ("analyze.cache.stored", Sum, false,
+        "section summaries written into the cache after a miss"),
+    AnalyzeCacheCorrupt => ("analyze.cache.corrupt", Sum, false,
+        "persisted section summaries rejected by checksum/version checks"),
     // --- injection campaigns ---
     CampaignRunsTotal => ("llfi.campaign.runs_total", Sum, true,
         "injection runs classified"),

@@ -213,6 +213,35 @@ impl MetricsSnapshot {
                 c("serve.campaigns")
             ),
         );
+        law(
+            // Every section run a compositional analysis considers resolves
+            // exactly once: replayed from the cache or recomputed.
+            c("analyze.cache.hits") + c("analyze.cache.misses") == c("analyze.cache.sections"),
+            format!(
+                "section cache hits ({}) + misses ({}) must equal sections considered ({})",
+                c("analyze.cache.hits"),
+                c("analyze.cache.misses"),
+                c("analyze.cache.sections")
+            ),
+        );
+        law(
+            // A corrupt persisted summary is always recomputed, never reused.
+            c("analyze.cache.corrupt") <= c("analyze.cache.misses"),
+            format!(
+                "corrupt section summaries ({}) exceed cache misses ({})",
+                c("analyze.cache.corrupt"),
+                c("analyze.cache.misses")
+            ),
+        );
+        law(
+            // Summaries are stored only after a miss recomputed them.
+            c("analyze.cache.stored") <= c("analyze.cache.misses"),
+            format!(
+                "section summaries stored ({}) exceed cache misses ({})",
+                c("analyze.cache.stored"),
+                c("analyze.cache.misses")
+            ),
+        );
         let confusion = c("oracle.diff.true_positives")
             + c("oracle.diff.false_positives")
             + c("oracle.diff.false_negatives")
