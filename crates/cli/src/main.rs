@@ -39,6 +39,7 @@ use epvf_telemetry::{MetricsReport, Progress};
 use epvf_workloads::{by_name, extended_suite, Scale, Workload};
 use std::process::ExitCode;
 
+mod run_sharded;
 mod serve;
 mod sharding;
 mod summary;
@@ -68,6 +69,10 @@ enum CliError {
     /// Exit 8 — oracle hard-invariant violation or repro replay
     /// divergence.
     Oracle(String),
+    /// Exit 9 — a supervised sharded campaign lost shard(s) past their
+    /// retry budget and `--allow-partial` salvaged the rest: the summary
+    /// and metrics were written, but over a subset of the draw.
+    Partial(String),
 }
 
 impl CliError {
@@ -93,6 +98,7 @@ impl CliError {
             CliError::Io(_) => 6,
             CliError::Metrics(_) => 7,
             CliError::Oracle(_) => 8,
+            CliError::Partial(_) => 9,
         }
     }
 
@@ -104,7 +110,8 @@ impl CliError {
             | CliError::Campaign(m)
             | CliError::Io(m)
             | CliError::Metrics(m)
-            | CliError::Oracle(m) => m,
+            | CliError::Oracle(m)
+            | CliError::Partial(m) => m,
         }
     }
 }
@@ -141,6 +148,9 @@ fn main() -> ExitCode {
             Some("inject") => with_target(&args, cmd_inject),
             Some("shard") => with_target(&args, sharding::cmd_shard),
             Some("merge") => with_target(&args, sharding::cmd_merge),
+            // Takes the raw spec token (workers receive it verbatim),
+            // so it does not go through `with_target`.
+            Some("run-sharded") => run_sharded::cmd_run_sharded(args.get(1..).unwrap_or(&[])),
             Some("serve") => serve::cmd_serve(args.get(1..).unwrap_or(&[])),
             Some("oracle") => cmd_oracle(args.get(1..).unwrap_or(&[])),
             Some("protect") => with_target(&args, cmd_protect),
@@ -378,6 +388,37 @@ usage: epvf <command> [args]
                                partition geometry
     --resume                   recover FILE and run only the missing slice
     (other inject flags as above; --sample is not shardable)
+  run-sharded <target> [N] [SEED] --shards S
+                               run a whole sharded campaign under the
+                               fault-tolerant supervisor: S concurrent
+                               `epvf shard` workers over scratch WALs,
+                               crash/hang recovery by restart-from-WAL,
+                               merged stdout byte-identical to the
+                               single-process `epvf inject`
+    --shard-retries N          restarts allowed per shard (default 2)
+    --stall-timeout-ms MS      kill a worker whose WAL has not grown for
+                               MS (heartbeat = WAL file growth; size it
+                               to cover the worker's golden-run startup)
+    --shard-deadline-ms MS     kill a worker attempt running longer than
+                               MS in total
+    --backoff-ms MS            base of the jittered exponential restart
+                               backoff (default 50)
+    --allow-partial            when a shard exhausts its retries, salvage
+                               completed shards + the failed shard's WAL
+                               prefix, print a `partial:` line, exit 9
+    --work-dir DIR             keep shard WALs + stderr captures in DIR
+                               (default: a temp dir, removed on exit)
+    --counters-out FILE        write the merged campaign's
+                               llfi.campaign.runs_* class counters
+                               (derived from the WAL union, so they match
+                               the single-process run byte-for-byte)
+    --chaos kill:P,stop:P[,seed:S][,max:N][,halt:I]
+                               test-only fault injection into the
+                               supervisor loop itself: SIGKILL/SIGSTOP
+                               running workers with per-tick probability
+                               P (halt:I kills shard I at every spawn)
+    (other inject flags as above; --wal/--resume/--sample are owned by
+    the supervisor and rejected)
   merge <target> [N] [SEED]    fold shard WALs into the full aggregate;
                                stdout is byte-identical to the equivalent
                                single-process `epvf inject`
@@ -393,8 +434,14 @@ usage: epvf <command> [args]
                                `run <target> [N] [SEED] [--shards S] ...`
                                (requests queue FIFO; golden runs, site
                                tables and checkpoints are cached across
-                               requests; --shards S multiplexes S `epvf
-                               shard` worker processes and merges them)
+                               requests; --shards S runs S concurrent
+                               `epvf shard` workers under the supervisor
+                               and merges them; a stale socket file from
+                               a dead daemon is probed and removed, a
+                               live one is an error)
+    --shard-retries N / --stall-timeout-ms MS / --shard-deadline-ms MS
+                               supervisor policy for --shards requests
+                               (defaults as for run-sharded)
     --section-cache DIR        persist per-section analysis summaries in
                                DIR; without it they are still shared
                                in-memory across requests, so analyses of
@@ -432,10 +479,17 @@ exit codes:
   4  invalid input file (IR parse/verify, bad repro, foreign WAL, shard
      WAL resumed or merged under the wrong --index/--of geometry,
      incomplete or duplicated shard set)
-  5  campaign setup failure (golden run failed, no injectable sites)
+  5  campaign setup failure (golden run failed, no injectable sites), or
+     a supervised shard worker failed past its retry budget without
+     --allow-partial — whether it crashed (signal), failed (nonzero
+     exit), or hung (stall / deadline kill); the supervisor log line on
+     stderr names which
   6  I/O error
   7  metrics validation failure (schema or conservation law)
   8  oracle violation (hard invariant, or replay diverged)
+  9  partial sharded campaign: --allow-partial salvaged the completed
+     shards plus the failed shard's WAL prefix; the summary and the
+     `partial:` line cover the salvaged subset only
 ";
 
 /// Resolved target: a module plus how to run it.

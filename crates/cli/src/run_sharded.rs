@@ -1,0 +1,438 @@
+//! `epvf run-sharded` — one command that runs a whole sharded campaign
+//! under the fault-tolerant supervisor.
+//!
+//! Where `epvf shard` + `epvf merge` leave process orchestration to the
+//! caller, `run-sharded` owns it: it spawns `--shards S` concurrent
+//! `epvf shard` workers over scratch WALs, supervises them
+//! (WAL-growth heartbeat, `--stall-timeout-ms`, `--shard-deadline-ms`),
+//! restarts failures from their WAL with a `--shard-retries` budget and
+//! jittered exponential backoff, and merges the logs into the same
+//! summary bytes a single-process `epvf inject` would print.
+//!
+//! When a shard exhausts its retries the command fails with exit 5 —
+//! unless `--allow-partial` is given, in which case the merge salvages
+//! the completed shards plus the failed shard's WAL prefix, prints the
+//! summary over the salvaged runs plus a `partial:` line, and exits
+//! with the dedicated code 9 so scripts can tell "complete" from
+//! "best effort" without parsing stdout.
+
+use crate::{parse_inject_opts, resolve, sharding, summary, CliError};
+use epvf_core::analyze;
+use epvf_llfi::{
+    wal_fingerprint_shard, CampaignAggregate, ChaosConfig, ShardOutcomes, SupervisorConfig,
+    SupervisorEvent, SupervisorReport, WalSink,
+};
+use epvf_telemetry::{add, Ctr, MetricsReport, MetricsSnapshot};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Supervisor-side flags, pulled out of the argument list before the
+/// rest is both parsed locally and forwarded verbatim to the workers.
+struct SupervisorOpts {
+    shards: usize,
+    retries: u32,
+    stall_timeout: Option<Duration>,
+    deadline: Option<Duration>,
+    backoff: Duration,
+    allow_partial: bool,
+    work_dir: Option<PathBuf>,
+    counters_out: Option<PathBuf>,
+    chaos: Option<ChaosConfig>,
+}
+
+fn extract_supervisor_opts(rest: &[String]) -> Result<(SupervisorOpts, Vec<String>), CliError> {
+    let mut opts = SupervisorOpts {
+        shards: 0,
+        retries: 2,
+        stall_timeout: None,
+        deadline: None,
+        backoff: Duration::from_millis(50),
+        allow_partial: false,
+        work_dir: None,
+        counters_out: None,
+        chaos: None,
+    };
+    let mut forwarded = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{what} needs a value")))
+        };
+        let bad = |what: &str| CliError::usage(format!("bad {what}"));
+        match a.as_str() {
+            "--shards" => {
+                opts.shards = value("--shards")?.parse().map_err(|_| bad("--shards"))?;
+            }
+            "--shard-retries" => {
+                opts.retries = value("--shard-retries")?
+                    .parse()
+                    .map_err(|_| bad("--shard-retries"))?;
+            }
+            "--stall-timeout-ms" => {
+                let ms: u64 = value("--stall-timeout-ms")?
+                    .parse()
+                    .map_err(|_| bad("--stall-timeout-ms"))?;
+                opts.stall_timeout = Some(Duration::from_millis(ms));
+            }
+            "--shard-deadline-ms" => {
+                let ms: u64 = value("--shard-deadline-ms")?
+                    .parse()
+                    .map_err(|_| bad("--shard-deadline-ms"))?;
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
+            "--backoff-ms" => {
+                let ms: u64 = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| bad("--backoff-ms"))?;
+                opts.backoff = Duration::from_millis(ms.max(1));
+            }
+            "--allow-partial" => opts.allow_partial = true,
+            "--work-dir" => opts.work_dir = Some(value("--work-dir")?.into()),
+            "--counters-out" => opts.counters_out = Some(value("--counters-out")?.into()),
+            "--chaos" => {
+                opts.chaos = Some(
+                    ChaosConfig::parse(value("--chaos")?)
+                        .map_err(|e| CliError::usage(format!("--chaos: {e}")))?,
+                );
+            }
+            _ => forwarded.push(a.clone()),
+        }
+    }
+    if opts.shards == 0 {
+        return Err(CliError::usage("run-sharded requires --shards S (S >= 1)"));
+    }
+    Ok((opts, forwarded))
+}
+
+/// Build the supervisor config shared by `run-sharded` and the serve
+/// daemon's sharded request path.
+pub(crate) fn supervisor_config(
+    retries: u32,
+    stall_timeout: Option<Duration>,
+    deadline: Option<Duration>,
+    backoff: Duration,
+    seed: u64,
+    chaos: Option<ChaosConfig>,
+) -> SupervisorConfig {
+    SupervisorConfig {
+        retries,
+        stall_timeout,
+        deadline,
+        backoff_base: backoff,
+        seed,
+        chaos,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Build the worker plans: shard `i` runs
+/// `epvf shard <spec> <forwarded...> --index i --of S --wal DIR/shard-i.wal`,
+/// resuming with `--resume` appended.
+pub(crate) fn shard_plans(
+    spec: &str,
+    forwarded: &[String],
+    shards: usize,
+    dir: &Path,
+) -> Result<Vec<epvf_llfi::ShardPlan>, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::io(format!("locating the epvf binary: {e}")))?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::io(format!("creating {}: {e}", dir.display())))?;
+    Ok((0..shards)
+        .map(|i| {
+            let mut fresh: Vec<String> = vec!["shard".into(), spec.into()];
+            fresh.extend(forwarded.iter().cloned());
+            fresh.extend([
+                "--index".into(),
+                i.to_string(),
+                "--of".into(),
+                shards.to_string(),
+                "--wal".into(),
+                dir.join(format!("shard-{i}.wal")).display().to_string(),
+            ]);
+            let mut resume = fresh.clone();
+            resume.push("--resume".into());
+            epvf_llfi::ShardPlan {
+                index: i,
+                program: exe.clone(),
+                fresh_args: fresh,
+                resume_args: resume,
+                wal: dir.join(format!("shard-{i}.wal")),
+                stderr_path: dir.join(format!("shard-{i}.stderr")),
+                envs: Vec::new(),
+            }
+        })
+        .collect())
+}
+
+/// Last `max_bytes` of a worker's captured stderr, flattened to one
+/// line for the supervisor log.
+pub(crate) fn stderr_tail(path: &Path, max_bytes: usize) -> String {
+    let Ok(bytes) = std::fs::read(path) else {
+        return String::new();
+    };
+    let start = bytes.len().saturating_sub(max_bytes);
+    String::from_utf8_lossy(&bytes[start..])
+        .trim()
+        .replace('\n', " | ")
+}
+
+/// One narration line per supervision event, with the failure cause
+/// spelled out distinctly for signal vs. nonzero-exit vs. stall (the
+/// exit-code table documents the same taxonomy). `emit` receives the
+/// finished line; `run-sharded` sends them to stderr, the serve daemon
+/// onto the wire.
+pub(crate) fn narrate(
+    event: &SupervisorEvent,
+    shards: usize,
+    dir: &Path,
+    emit: &mut dyn FnMut(String),
+) {
+    use epvf_llfi::FailureKind;
+    match event {
+        SupervisorEvent::Spawned {
+            shard,
+            attempt,
+            resumed,
+        } => {
+            if *attempt > 1 || *resumed {
+                emit(format!(
+                    "supervisor: shard {shard}/{shards} attempt {attempt} started{}",
+                    if *resumed {
+                        " (resuming from WAL)"
+                    } else {
+                        " (fresh)"
+                    }
+                ));
+            }
+        }
+        SupervisorEvent::Failed {
+            shard,
+            attempt,
+            kind,
+            will_retry,
+            backoff,
+        } => {
+            // Distinct line heads per cause: `crashed (signal)`,
+            // `failed (exit N)`, `hung (stall)`, `hung (deadline)`.
+            let cause = match kind {
+                FailureKind::Signal(sig) => format!("crashed (killed by signal {sig})"),
+                FailureKind::Exit(code) => format!("failed (exited with code {code})"),
+                FailureKind::Stalled => "hung (stalled: no WAL progress)".to_string(),
+                FailureKind::DeadlineExceeded => "hung (exceeded the shard deadline)".to_string(),
+                FailureKind::SpawnError => "failed (could not spawn)".to_string(),
+            };
+            let next = if *will_retry {
+                format!("restarting in {} ms", backoff.as_millis())
+            } else {
+                "retry budget exhausted".to_string()
+            };
+            let tail = stderr_tail(&dir.join(format!("shard-{shard}.stderr")), 512);
+            let tail = if tail.is_empty() {
+                String::new()
+            } else {
+                format!(" [stderr: {tail}]")
+            };
+            emit(format!(
+                "supervisor: shard {shard}/{shards} attempt {attempt} {cause}; {next}{tail}"
+            ));
+        }
+        SupervisorEvent::Succeeded { shard, attempt } => {
+            if *attempt > 1 {
+                emit(format!(
+                    "supervisor: shard {shard}/{shards} recovered on attempt {attempt}"
+                ));
+            }
+        }
+        SupervisorEvent::Chaos { shard, action } => {
+            emit(format!("supervisor: chaos {action} -> shard {shard}"));
+        }
+    }
+}
+
+/// Salvage whatever a failed shard's WAL prefix holds: recover
+/// tolerating a torn tail, or return empty outcomes when the file never
+/// got a usable header (worker killed before `WalSink::create`).
+fn salvage_shard(path: &Path, fp: u64) -> ShardOutcomes {
+    match WalSink::recover(path, fp) {
+        Ok((_sink, rec)) => ShardOutcomes::from_recovered(&rec),
+        Err(_) => ShardOutcomes::empty(),
+    }
+}
+
+/// Write the merged campaign's `llfi.campaign.runs_*` class counters as
+/// a standalone metrics document derived from the WAL records alone.
+/// The parent registry is no use here: killed worker attempts lose
+/// their in-memory counts and resumed attempts do not re-count
+/// recovered runs, but the WAL union *is* the campaign — so these
+/// counters match a single-process run byte-for-byte, which is exactly
+/// what the chaos harness diffs.
+fn write_class_counters(path: &Path, agg: &CampaignAggregate) -> Result<(), CliError> {
+    let mut snap = MetricsSnapshot::default();
+    let mut put = |name: &str, v: u64| {
+        snap.counters
+            .insert(format!("llfi.campaign.runs_{name}"), v);
+    };
+    put("total", agg.n);
+    put("benign", agg.classes[0]);
+    put("sdc", agg.classes[1]);
+    put("crash", agg.classes[2]);
+    put("hang", agg.classes[3]);
+    put("detected", agg.classes[4]);
+    put("timed_out", agg.classes[5]);
+    put("quarantined", agg.classes[6]);
+    MetricsReport::new(snap)
+        .with_meta("tool", "epvf")
+        .with_meta("command", "run-sharded")
+        .write_file(path)
+        .map_err(|e| CliError::io(format!("writing {}: {e}", path.display())))
+}
+
+/// `epvf run-sharded <target> [N] [SEED] --shards S [...]`.
+pub(crate) fn cmd_run_sharded(rest: &[String]) -> Result<(), CliError> {
+    let (spec, rest) = rest
+        .split_first()
+        .ok_or_else(|| CliError::usage("missing <target>"))?;
+    let (sup, forwarded) = extract_supervisor_opts(rest)?;
+    let (config, opts) = parse_inject_opts(&forwarded)?;
+    if opts.wal.is_some() || opts.resume || opts.sample {
+        return Err(CliError::usage(
+            "run-sharded takes neither --wal, --resume nor --sample \
+             (it owns the shard WALs itself)",
+        ));
+    }
+
+    let t = resolve(spec)?;
+    let (campaign, specs, base_fp) = sharding::campaign_and_specs(&t, config, &opts)?;
+
+    let dir = sup.work_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("epvf-run-sharded-{}", std::process::id()))
+    });
+    let plans = shard_plans(spec, &forwarded, sup.shards, &dir)?;
+    let cfg = supervisor_config(
+        sup.retries,
+        sup.stall_timeout,
+        sup.deadline,
+        sup.backoff,
+        opts.seed,
+        sup.chaos.clone(),
+    );
+    let shards = sup.shards;
+    let dir_for_log = dir.clone();
+    let mut emit = move |event: SupervisorEvent| {
+        narrate(&event, shards, &dir_for_log, &mut |line| {
+            eprintln!("{line}")
+        });
+    };
+    let report = epvf_llfi::supervise(&plans, &cfg, &mut emit)
+        .map_err(|e| CliError::io(format!("supervising shard workers: {e}")))?;
+
+    let wals: Vec<PathBuf> = plans.iter().map(|p| p.wal.clone()).collect();
+    let result = finish(&t, &campaign, &specs, base_fp, &opts, &sup, &report, &wals);
+    if sup.work_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    t: &crate::Target,
+    campaign: &epvf_llfi::Campaign<'_>,
+    specs: &[epvf_interp::InjectionSpec],
+    base_fp: u64,
+    opts: &crate::InjectOpts,
+    sup: &SupervisorOpts,
+    report: &SupervisorReport,
+    wals: &[PathBuf],
+) -> Result<(), CliError> {
+    if report.all_ok() {
+        let fi = sharding::merge_shard_wals(wals, base_fp, specs)?;
+        let trace = campaign
+            .golden()
+            .trace
+            .as_ref()
+            .ok_or_else(|| CliError::campaign("golden run produced no trace"))?;
+        let res = analyze(&t.module, trace, epvf_core::EpvfConfig::default());
+        print!(
+            "{}",
+            summary::inject_summary(&t.label, opts.seed, campaign, &res, &fi)
+        );
+        let agg = CampaignAggregate::from_result(&fi, campaign.sites(), Some(&res.crash_map));
+        agg.check()
+            .map_err(|e| CliError::campaign(format!("merged aggregate inconsistent: {e}")))?;
+        if let Some(path) = &sup.counters_out {
+            write_class_counters(path, &agg)?;
+        }
+        return summary::finish_campaign(&t.label, campaign, &fi, None, opts.max_unsound);
+    }
+
+    let failed = report.failed_shards();
+    if !sup.allow_partial {
+        let causes: Vec<String> = report
+            .shards
+            .iter()
+            .filter(|s| !s.ok)
+            .map(|s| {
+                format!(
+                    "shard {} ({} after {} attempt(s))",
+                    s.index,
+                    s.last_failure
+                        .map_or_else(|| "unknown failure".into(), |k| k.to_string()),
+                    s.attempts
+                )
+            })
+            .collect();
+        return Err(CliError::campaign(format!(
+            "{} of {} shards failed past the retry budget: {} \
+             (re-run with --allow-partial to salvage their WAL prefixes)",
+            failed.len(),
+            report.shards.len(),
+            causes.join(", ")
+        )));
+    }
+
+    // Salvage: completed shards merge fully; failed shards contribute
+    // whatever intact prefix their WAL holds.
+    let mut merged = ShardOutcomes::empty();
+    let mut salvaged_runs = 0u64;
+    for (shard, path) in wals.iter().enumerate() {
+        let fp = wal_fingerprint_shard(base_fp, shard, wals.len());
+        let outcomes = salvage_shard(path, fp);
+        if failed.contains(&shard) {
+            salvaged_runs += outcomes.len() as u64;
+        }
+        merged = merged.merge(outcomes).map_err(CliError::input)?;
+    }
+    add(Ctr::SupervisorSalvagedRuns, salvaged_runs);
+    let (fi, missing) = merged.into_partial_result(specs).map_err(CliError::input)?;
+    let trace = campaign
+        .golden()
+        .trace
+        .as_ref()
+        .ok_or_else(|| CliError::campaign("golden run produced no trace"))?;
+    let res = analyze(&t.module, trace, epvf_core::EpvfConfig::default());
+    print!(
+        "{}",
+        summary::inject_summary(&t.label, opts.seed, campaign, &res, &fi)
+    );
+    let agg = CampaignAggregate::from_result(&fi, campaign.sites(), Some(&res.crash_map));
+    agg.check()
+        .map_err(|e| CliError::campaign(format!("salvaged aggregate inconsistent: {e}")))?;
+    if let Some(path) = &sup.counters_out {
+        write_class_counters(path, &agg)?;
+    }
+    let failed_list: Vec<String> = failed.iter().map(usize::to_string).collect();
+    let partial_line = format!(
+        "partial: salvaged {}/{} runs ({missing} missing) after shard(s) {} \
+         exhausted {} retr{}; rates above cover salvaged runs only",
+        fi.n(),
+        specs.len(),
+        failed_list.join(","),
+        sup.retries,
+        if sup.retries == 1 { "y" } else { "ies" },
+    );
+    println!("{partial_line}");
+    Err(CliError::Partial(partial_line))
+}

@@ -28,8 +28,13 @@
 //! different modules that share function bodies or loop nests replay the
 //! common sections instead of re-propagating them; each miss reports its
 //! share as `sections <id> <hits> <misses>`. With `--shards S`, the
-//! daemon multiplexes `S` `epvf shard` worker processes over temporary
-//! WALs and folds them back with the same merge path as `epvf merge`.
+//! daemon runs `S` concurrent `epvf shard` worker processes over
+//! temporary WALs under the fault-tolerant supervisor (crash/hang
+//! recovery per `--shard-retries` / `--stall-timeout-ms` /
+//! `--shard-deadline-ms`, stderr captured per worker and surfaced on
+//! failure) and folds them back with the same merge path as
+//! `epvf merge`. On startup a leftover socket file is connect-probed:
+//! stale ones are removed, live ones are an error.
 
 use crate::CliError;
 
@@ -97,34 +102,81 @@ mod unix {
         res: EpvfResult,
     }
 
+    /// Supervisor policy for `run ... --shards S` requests, set once at
+    /// daemon startup.
+    #[derive(Clone)]
+    pub(super) struct ShardPolicy {
+        pub retries: u32,
+        pub stall_timeout: Option<std::time::Duration>,
+        pub deadline: Option<std::time::Duration>,
+    }
+
+    impl Default for ShardPolicy {
+        fn default() -> Self {
+            ShardPolicy {
+                retries: 2,
+                stall_timeout: None,
+                deadline: None,
+            }
+        }
+    }
+
     pub(super) fn serve(rest: &[String]) -> Result<(), CliError> {
         let mut socket: Option<PathBuf> = None;
         let mut section_dir: Option<PathBuf> = None;
+        let mut policy = ShardPolicy::default();
         let mut it = rest.iter();
         while let Some(a) = it.next() {
+            let mut value = |what: &str| -> Result<&String, CliError> {
+                it.next()
+                    .ok_or_else(|| CliError::usage(format!("{what} needs a value")))
+            };
+            let bad = |what: &str| CliError::usage(format!("bad {what}"));
             match a.as_str() {
-                "--socket" => {
-                    socket = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("--socket needs a path"))?
-                            .into(),
-                    )
+                "--socket" => socket = Some(value("--socket")?.into()),
+                "--section-cache" => section_dir = Some(value("--section-cache")?.into()),
+                "--shard-retries" => {
+                    policy.retries = value("--shard-retries")?
+                        .parse()
+                        .map_err(|_| bad("--shard-retries"))?;
                 }
-                "--section-cache" => {
-                    section_dir = Some(
-                        it.next()
-                            .ok_or_else(|| CliError::usage("--section-cache needs a path"))?
-                            .into(),
-                    )
+                "--stall-timeout-ms" => {
+                    let ms: u64 = value("--stall-timeout-ms")?
+                        .parse()
+                        .map_err(|_| bad("--stall-timeout-ms"))?;
+                    policy.stall_timeout = Some(std::time::Duration::from_millis(ms));
+                }
+                "--shard-deadline-ms" => {
+                    let ms: u64 = value("--shard-deadline-ms")?
+                        .parse()
+                        .map_err(|_| bad("--shard-deadline-ms"))?;
+                    policy.deadline = Some(std::time::Duration::from_millis(ms));
                 }
                 other => return Err(CliError::usage(format!("unknown serve argument `{other}`"))),
             }
         }
         let socket = socket.ok_or_else(|| CliError::usage("serve requires --socket PATH"))?;
-        // A stale socket file from a dead daemon blocks bind; a live one
-        // is indistinguishable here, so last-started daemon wins (the CI
-        // and tests use per-run socket paths).
-        let _ = std::fs::remove_file(&socket);
+        // A leftover socket file blocks bind. Probe it first: if a
+        // daemon answers the connect, starting a second one here would
+        // silently steal its address — refuse instead. A dead socket
+        // (connect fails) is safely removed.
+        if socket.exists() {
+            match UnixStream::connect(&socket) {
+                Ok(_) => {
+                    return Err(CliError::io(format!(
+                        "{} is in use by a live daemon (connect succeeded); \
+                         shut it down or pick another --socket",
+                        socket.display()
+                    )));
+                }
+                Err(_) => {
+                    std::fs::remove_file(&socket).map_err(|e| {
+                        CliError::io(format!("removing stale socket {}: {e}", socket.display()))
+                    })?;
+                    eprintln!("serve: removed stale socket {}", socket.display());
+                }
+            }
+        }
         let listener = UnixListener::bind(&socket)
             .map_err(|e| CliError::io(format!("binding {}: {e}", socket.display())))?;
         println!("serving on {}", socket.display());
@@ -163,7 +215,7 @@ mod unix {
                 }
                 Job::Run { id, tokens, conn } => {
                     say(&conn, &format!("start {id}"));
-                    match handle_run(id, &tokens, &conn, &mut cache, &mut sections) {
+                    match handle_run(id, &tokens, &conn, &mut cache, &mut sections, &policy) {
                         Ok(()) => say(&conn, &format!("done {id}")),
                         Err(e) => say(
                             &conn,
@@ -229,6 +281,7 @@ mod unix {
         conn: &Conn,
         cache: &mut HashMap<u64, CacheEntry>,
         sections: &mut SectionCache,
+        policy: &ShardPolicy,
     ) -> Result<(), CliError> {
         let (spec, rest) = tokens
             .split_first()
@@ -331,7 +384,7 @@ mod unix {
         let fi = if shards == 1 {
             campaign.run_specs(&specs)
         } else {
-            run_sharded(id, spec, &forwarded, shards, conn)?;
+            run_sharded(id, spec, &forwarded, shards, conn, policy, opts.seed)?;
             let base_fp = sharding::base_fingerprint_parts(
                 &entry.module,
                 &entry.args,
@@ -362,50 +415,58 @@ mod unix {
         shard_dir(id).join(format!("shard-{index}.wal"))
     }
 
-    /// Multiplex `shards` `epvf shard` worker processes over temporary
-    /// WALs, streaming one `progress` line per finished worker.
+    /// Run `shards` concurrent `epvf shard` workers over temporary WALs
+    /// under the fault-tolerant supervisor: crashed or hung workers are
+    /// restarted from their WAL (per the daemon's [`ShardPolicy`]), each
+    /// worker's stderr is captured to a scratch file whose tail is
+    /// surfaced on failure, and one `progress` line streams per finished
+    /// shard.
     fn run_sharded(
         id: u64,
         spec: &str,
         forwarded: &[String],
         shards: usize,
         conn: &Conn,
+        policy: &ShardPolicy,
+        seed: u64,
     ) -> Result<(), CliError> {
-        let exe = std::env::current_exe()
-            .map_err(|e| CliError::io(format!("locating the epvf binary: {e}")))?;
         let dir = shard_dir(id);
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| CliError::io(format!("creating {}: {e}", dir.display())))?;
-        let mut children = Vec::new();
-        for i in 0..shards {
-            let child = std::process::Command::new(&exe)
-                .arg("shard")
-                .arg(spec)
-                .args(forwarded)
-                .arg("--index")
-                .arg(i.to_string())
-                .arg("--of")
-                .arg(shards.to_string())
-                .arg("--wal")
-                .arg(shard_wal_path(id, i))
-                .stdout(std::process::Stdio::null())
-                .stderr(std::process::Stdio::null())
-                .spawn()
-                .map_err(|e| CliError::io(format!("spawning shard {i}/{shards}: {e}")))?;
-            children.push((i, child));
-        }
-        for (i, mut child) in children {
-            let status = child
-                .wait()
-                .map_err(|e| CliError::io(format!("waiting for shard {i}/{shards}: {e}")))?;
-            // Exit 3 (degraded) still writes a complete WAL; the merged
-            // summary reports the degradation honestly.
-            if !matches!(status.code(), Some(0 | 3)) {
-                return Err(CliError::campaign(format!(
-                    "shard {i}/{shards} failed with {status}"
-                )));
+        let plans = crate::run_sharded::shard_plans(spec, forwarded, shards, &dir)?;
+        let cfg = crate::run_sharded::supervisor_config(
+            policy.retries,
+            policy.stall_timeout,
+            policy.deadline,
+            std::time::Duration::from_millis(50),
+            seed,
+            None,
+        );
+        let mut emit = |event: epvf_llfi::SupervisorEvent| {
+            if let epvf_llfi::SupervisorEvent::Succeeded { shard, .. } = &event {
+                say(conn, &format!("progress {id} shard {shard}/{shards} done"));
             }
-            say(conn, &format!("progress {id} shard {i}/{shards} done"));
+            crate::run_sharded::narrate(&event, shards, &dir, &mut |line| {
+                say(conn, &format!("progress {id} {line}"));
+            });
+        };
+        let report = epvf_llfi::supervise(&plans, &cfg, &mut emit)
+            .map_err(|e| CliError::io(format!("supervising shard workers: {e}")))?;
+        if let Some(bad) = report.shards.iter().find(|s| !s.ok) {
+            let tail = crate::run_sharded::stderr_tail(
+                &dir.join(format!("shard-{}.stderr", bad.index)),
+                512,
+            );
+            let tail = if tail.is_empty() {
+                String::new()
+            } else {
+                format!(" [stderr: {tail}]")
+            };
+            return Err(CliError::campaign(format!(
+                "shard {}/{shards} {} after {} attempt(s){tail}",
+                bad.index,
+                bad.last_failure
+                    .map_or_else(|| "failed".into(), |k| k.to_string()),
+                bad.attempts
+            )));
         }
         Ok(())
     }

@@ -51,9 +51,10 @@ fn extract_shard_spec(rest: &[String]) -> Result<(ShardSpec, Vec<String>), CliEr
     Ok((shard, remaining))
 }
 
-/// Shared front half of `shard` and `merge`: build the campaign and the
-/// full deterministic spec draw that both sides partition identically.
-fn campaign_and_specs<'m>(
+/// Shared front half of `shard`, `merge`, and `run-sharded`: build the
+/// campaign and the full deterministic spec draw that all sides
+/// partition identically.
+pub(crate) fn campaign_and_specs<'m>(
     t: &'m Target,
     config: CampaignConfig,
     opts: &InjectOpts,

@@ -212,3 +212,113 @@ fn queued_specs_run_in_fifo_order() {
     assert_eq!(counter(&metrics, "serve.cache.misses"), 1);
     assert_eq!(counter(&metrics, "serve.cache.hits"), 1);
 }
+
+/// A socket file left behind by a crashed daemon (the path exists but
+/// nobody is listening) must not wedge the next start: the daemon
+/// probes it, removes the corpse, and binds. A socket with a live
+/// daemon behind it is a hard error, not silent removal.
+#[test]
+fn stale_socket_is_removed_but_a_live_one_is_refused() {
+    let dir = tmpdir("stale");
+    let socket = dir.join("epvf.sock");
+
+    // Fabricate a crash leftover: bind, then drop the listener without
+    // unlinking. The file remains; connect() to it now fails.
+    let dead = std::os::unix::net::UnixListener::bind(&socket).expect("bind");
+    drop(dead);
+    assert!(socket.exists(), "leftover socket file expected");
+
+    let daemon = Daemon::start(&dir);
+    let mut conn = daemon.connect();
+    send(&mut conn, "ping");
+    assert_eq!(recv(&mut conn), "pong");
+
+    // While this daemon is alive, a second one on the same path must
+    // refuse to start rather than steal the socket.
+    let out = Command::new(env!("CARGO_BIN_EXE_epvf"))
+        .args(["serve", "--socket", socket.to_str().expect("utf8")])
+        .output()
+        .expect("second daemon runs");
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("live daemon"), "{stderr}");
+
+    daemon.shutdown(&mut conn);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `shutdown` with work still queued on the same connection must not
+/// hang and must not drop requests silently: everything accepted
+/// before the shutdown line drains to `done`, then the daemon says
+/// `bye` and exits — deterministically, within a bounded wait.
+#[test]
+fn shutdown_with_queued_requests_drains_then_exits() {
+    let dir = tmpdir("drain");
+    let daemon = Daemon::start(&dir);
+    let mut conn = daemon.connect();
+
+    // Queue two campaigns and the shutdown before reading anything.
+    send(&mut conn, "run lud:tiny 40 3");
+    send(&mut conn, "run lud:tiny 40 5");
+    send(&mut conn, "shutdown");
+
+    // The `queued` acks race with the worker's `start`/`out` stream on
+    // the shared write lock, so assert relative order, not line slots.
+    let mut lines = Vec::new();
+    loop {
+        let line = recv(&mut conn);
+        assert!(!line.starts_with("error"), "{line}");
+        let finished = line == "done 2";
+        lines.push(line);
+        if finished {
+            break;
+        }
+    }
+    assert_eq!(recv(&mut conn), "bye");
+    let pos = |needle: &str| {
+        lines
+            .iter()
+            .position(|l| l == needle)
+            .unwrap_or_else(|| panic!("{needle:?} missing from {lines:?}"))
+    };
+    assert!(pos("queued 1") < pos("done 1"), "{lines:?}");
+    assert!(
+        pos("done 1") < pos("start 2"),
+        "queued work drains FIFO before shutdown: {lines:?}"
+    );
+
+    // The daemon process itself exits promptly after `bye`.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut daemon = daemon;
+    loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            assert!(status.success(), "daemon exit: {status}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never exited after bye");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let metrics = std::fs::read_to_string(&daemon.metrics).expect("metrics on exit");
+    assert_eq!(counter(&metrics, "serve.campaigns"), 2, "both drained");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The serve daemon's sharded path runs under the same supervisor as
+/// `epvf run-sharded`: per-shard stderr goes to scratch files and the
+/// shard progress lines still stream in the legacy format.
+#[test]
+fn sharded_requests_stream_supervised_progress() {
+    let dir = tmpdir("supervised");
+    let daemon = Daemon::start(&dir);
+    let mut conn = daemon.connect();
+
+    send(&mut conn, "run lud:tiny 80 7 --shards 3");
+    assert_eq!(recv(&mut conn), "queued 1");
+    let lines = drain_until_done(&mut conn, 1);
+    for shard in 0..3 {
+        let progress = format!("progress 1 shard {shard}/3 done");
+        assert!(lines.contains(&progress), "{lines:?}");
+    }
+    daemon.shutdown(&mut conn);
+    std::fs::remove_dir_all(&dir).ok();
+}

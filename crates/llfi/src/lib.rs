@@ -47,6 +47,7 @@ mod shard;
 mod site;
 mod stats;
 mod supervise;
+mod supervisor;
 mod wal;
 
 pub use accuracy::{
@@ -63,6 +64,10 @@ pub use shard::{CampaignAggregate, MergeError, ShardOutcomes, ShardSpec, Stratum
 pub use site::{injectable_operand, InjectionSite, SiteTable};
 pub use stats::{ci95, clopper_pearson95, clopper_pearson_f, geomean, mean, wilson95_f};
 pub use supervise::RunSession;
+pub use supervisor::{
+    backoff_delay, supervise, ChaosConfig, Event as SupervisorEvent, FailureKind, ShardOutcome,
+    ShardPlan, SupervisorConfig, SupervisorReport,
+};
 pub use wal::{
     read_wal_fingerprint, wal_fingerprint, wal_fingerprint_adaptive,
     wal_fingerprint_adaptive_model, wal_fingerprint_model, wal_fingerprint_shard, RecoveredWal,

@@ -40,6 +40,23 @@ pub const WAL_MAGIC: &[u8; 8] = b"EPVFWAL1";
 /// Flush to the OS after this many buffered records.
 const FLUSH_BATCH: usize = 64;
 
+/// The effective flush batch: [`FLUSH_BATCH`] unless overridden by the
+/// `EPVF_WAL_FLUSH_BATCH` environment variable (clamped to ≥ 1). The
+/// shard supervisor sets a small value in its workers so WAL file
+/// growth doubles as a fine-grained liveness heartbeat; everything else
+/// keeps the amortized default.
+fn flush_batch() -> usize {
+    use std::sync::OnceLock;
+    static BATCH: OnceLock<usize> = OnceLock::new();
+    *BATCH.get_or_init(|| {
+        std::env::var("EPVF_WAL_FLUSH_BATCH")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(FLUSH_BATCH)
+    })
+}
+
 const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
 const FNV32_OFFSET: u32 = 0x811c_9dc5;
@@ -541,7 +558,8 @@ impl WalSink {
     }
 
     /// Append one completed run. Buffered; flushed every
-    /// [`FLUSH_BATCH`] records.
+    /// [`FLUSH_BATCH`] records (or every `EPVF_WAL_FLUSH_BATCH` when
+    /// that environment override is set — see [`flush_batch`]).
     pub fn append(&self, index: usize, spec: InjectionSpec, outcome: InjOutcome) {
         let payload = encode_payload(index, spec, outcome);
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
@@ -554,7 +572,7 @@ impl WalSink {
             .extend_from_slice(&fnv1a32(&payload).to_le_bytes());
         inner.pending += 1;
         epvf_telemetry::add(Ctr::WalRecordsAppended, 1);
-        if inner.pending >= FLUSH_BATCH {
+        if inner.pending >= flush_batch() {
             inner.flush_locked(false);
         }
     }

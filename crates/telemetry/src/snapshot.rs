@@ -242,6 +242,36 @@ impl MetricsSnapshot {
                 c("analyze.cache.misses")
             ),
         );
+        law(
+            // Every spawn is either a shard's first attempt or a restart.
+            c("supervisor.spawned") == c("supervisor.shards") + c("supervisor.restarts"),
+            format!(
+                "supervisor spawned {} workers, expected shards ({}) + restarts ({})",
+                c("supervisor.spawned"),
+                c("supervisor.shards"),
+                c("supervisor.restarts")
+            ),
+        );
+        law(
+            // Restarts only happen in response to an observed failure.
+            c("supervisor.restarts") <= c("supervisor.hangs") + c("supervisor.crashes"),
+            format!(
+                "supervisor restarted {} workers but observed only {} hangs + {} crashes",
+                c("supervisor.restarts"),
+                c("supervisor.hangs"),
+                c("supervisor.crashes")
+            ),
+        );
+        law(
+            // A worker must have been spawned before it can fail.
+            c("supervisor.hangs") + c("supervisor.crashes") <= c("supervisor.spawned"),
+            format!(
+                "supervisor observed {} hangs + {} crashes but spawned only {} workers",
+                c("supervisor.hangs"),
+                c("supervisor.crashes"),
+                c("supervisor.spawned")
+            ),
+        );
         let confusion = c("oracle.diff.true_positives")
             + c("oracle.diff.false_positives")
             + c("oracle.diff.false_negatives")
